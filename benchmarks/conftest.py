@@ -1,0 +1,21 @@
+"""Shared fixtures and helpers for the figure/table benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper.
+Each benchmark both *measures* (via pytest-benchmark) the computation that
+produces the figure's data and *prints* the regenerated rows/series so they
+can be compared against the paper (run with ``-s`` to see them).  Assertions
+encode the figure's qualitative claim — who wins, by roughly what factor,
+where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figutils import WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """(label, ModelConfig) pairs for RM1-RM4."""
+    return WORKLOADS

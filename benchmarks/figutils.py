@@ -1,0 +1,32 @@
+"""Helpers shared by the figure/table benchmarks."""
+
+from __future__ import annotations
+
+from repro.models import RM1, RM2, RM3, RM4
+from repro.perf import TrainingCostModel
+from repro.hwsim import multi_node, single_node
+
+#: The four real-world workloads in the order the paper's figures use.
+WORKLOADS = [
+    ("Criteo Kaggle", RM2),
+    ("Taobao Alibaba", RM1),
+    ("Criteo Terabyte", RM3),
+    ("Avazu", RM4),
+]
+
+#: Weak scaling: 1K inputs per GPU (Section VII-B1).
+BATCH_PER_GPU = 1024
+
+
+def cost_model(config, gpus: int = 4, nodes: int = 1) -> TrainingCostModel:
+    """Build the standard cost model for one workload on the paper testbed."""
+    cluster = single_node(gpus) if nodes == 1 else multi_node(nodes, gpus)
+    return TrainingCostModel(config, cluster=cluster)
+
+
+def geomean(values) -> float:
+    """Geometric mean of a sequence of positive values."""
+    import math
+
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))

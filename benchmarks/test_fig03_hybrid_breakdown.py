@@ -1,0 +1,44 @@
+"""Figure 3 — training-time breakdown of the hybrid CPU-GPU (Intel DLRM) mode.
+
+Paper claim: embedding operations (lookup, optimizer update) plus CPU-GPU
+communication account for up to ~75 % of training time on the large Criteo
+datasets, while the Taobao (TBSM) workload is neural-network dominated.
+"""
+
+import pytest
+
+from benchmarks.figutils import BATCH_PER_GPU, WORKLOADS, cost_model
+from repro.analysis.breakdown import embedding_related_fraction, normalised_breakdown
+from repro.analysis.report import format_breakdown
+from repro.baselines import HybridCPUGPU
+
+
+def build_breakdowns():
+    result = {}
+    for label, config in WORKLOADS:
+        mode = HybridCPUGPU(cost_model(config, gpus=4))
+        result[label] = normalised_breakdown(mode.step_timeline(4 * BATCH_PER_GPU))
+    return result
+
+
+def test_fig03_hybrid_cpu_gpu_breakdown(benchmark):
+    breakdowns = benchmark(build_breakdowns)
+    print()
+    for label, breakdown in breakdowns.items():
+        print(format_breakdown(f"Figure 3 - {label} (hybrid 4-GPU)", breakdown))
+        print()
+
+    criteo_like = ["Criteo Kaggle", "Criteo Terabyte", "Avazu"]
+    for label in criteo_like:
+        fraction = embedding_related_fraction(breakdowns[label])
+        # Embedding work + communication dominates the Criteo-style datasets.
+        assert 0.5 < fraction < 0.95
+    # Criteo Terabyte is the most embedding-bound of the four.
+    terabyte = embedding_related_fraction(breakdowns["Criteo Terabyte"])
+    taobao = embedding_related_fraction(breakdowns["Taobao Alibaba"])
+    assert terabyte > taobao
+    # Taobao (TBSM) spends more time in the MLPs than in embedding lookups.
+    assert (
+        breakdowns["Taobao Alibaba"]["mlp"] + breakdowns["Taobao Alibaba"]["backward"]
+        > breakdowns["Taobao Alibaba"]["embedding"]
+    )

@@ -1,0 +1,40 @@
+"""Figure 4 — training-time breakdown of the single-node GPU-only mode.
+
+Paper claim: on a 4-GPU NVLink node the embedding all-to-all consumes about
+12 % of the training time even with fast interconnect; the remaining time is
+dominated by the MLPs and the optimizer.
+"""
+
+import pytest
+
+from benchmarks.figutils import BATCH_PER_GPU, WORKLOADS, cost_model
+from repro.analysis.breakdown import normalised_breakdown
+from repro.analysis.report import format_breakdown
+from repro.baselines import HugeCTRGPUOnly
+
+
+def build_breakdowns():
+    result = {}
+    for label, config in WORKLOADS:
+        mode = HugeCTRGPUOnly(cost_model(config, gpus=4))
+        if not mode.is_feasible():
+            continue
+        result[label] = normalised_breakdown(mode.step_timeline(4 * BATCH_PER_GPU))
+    return result
+
+
+def test_fig04_single_node_gpu_only_breakdown(benchmark):
+    breakdowns = benchmark(build_breakdowns)
+    print()
+    for label, breakdown in breakdowns.items():
+        print(format_breakdown(f"Figure 4 - {label} (GPU-only, 4 GPUs, NVLink)", breakdown))
+        print()
+
+    assert len(breakdowns) >= 3  # every model that fits in 4x16 GB HBM
+    for label, breakdown in breakdowns.items():
+        # The all-to-all is visible but not dominant on a single NVLink node.
+        assert 0.03 < breakdown["alltoall"] < 0.35, label
+        # No CPU embedding work remains in the GPU-only mode.
+        assert breakdown["embedding"] < 0.2, label
+    kaggle = breakdowns["Criteo Kaggle"]
+    assert kaggle["alltoall"] == pytest.approx(0.12, abs=0.08)

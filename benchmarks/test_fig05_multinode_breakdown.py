@@ -1,0 +1,48 @@
+"""Figure 5 — training-time breakdown of multi-node GPU-only training.
+
+Paper claim: with 100 Gbit/s InfiniBand between nodes (vs 2400 Gbit/s NVLink
+within a node) the communication share grows with node count and exceeds
+50 % of training time at 2-4 nodes for the Criteo datasets.
+"""
+
+from benchmarks.figutils import BATCH_PER_GPU, cost_model
+from repro.analysis.breakdown import normalised_breakdown
+from repro.analysis.report import format_breakdown
+from repro.baselines import HugeCTRGPUOnly
+from repro.models import RM2, RM3
+
+
+def build_breakdowns():
+    result = {}
+    for label, config in [("Criteo Kaggle", RM2), ("Criteo Terabyte", RM3)]:
+        for nodes in (1, 2, 4):
+            mode = HugeCTRGPUOnly(cost_model(config, gpus=4, nodes=nodes))
+            if not mode.is_feasible():
+                continue
+            batch = 4 * nodes * BATCH_PER_GPU
+            result[(label, nodes)] = normalised_breakdown(mode.step_timeline(batch))
+    return result
+
+
+def comm_share(breakdown):
+    return breakdown["alltoall"] + breakdown["comm"]
+
+
+def test_fig05_multi_node_gpu_only_breakdown(benchmark):
+    breakdowns = benchmark(build_breakdowns)
+    print()
+    for (label, nodes), breakdown in breakdowns.items():
+        print(format_breakdown(f"Figure 5 - {label}, {nodes} node(s)", breakdown))
+        print()
+
+    for label in ("Criteo Kaggle", "Criteo Terabyte"):
+        shares = [
+            comm_share(breakdowns[(label, nodes)])
+            for nodes in (1, 2, 4)
+            if (label, nodes) in breakdowns
+        ]
+        # Communication share grows monotonically with node count.
+        assert all(b >= a for a, b in zip(shares, shares[1:])), label
+    # At 4 nodes the communication approaches/exceeds half the iteration.
+    assert comm_share(breakdowns[("Criteo Terabyte", 4)]) > 0.45
+    assert comm_share(breakdowns[("Criteo Kaggle", 4)]) > 0.3

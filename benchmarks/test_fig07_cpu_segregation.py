@@ -1,0 +1,49 @@
+"""Figure 7 — CPU-based segregation time vs GPU mini-batch training time.
+
+Paper claim: even using all CPU cores, segregating a mini-batch into popular
+and non-popular µ-batches on the CPU takes comparable-to-longer (up to
+~2.5x) than the GPUs take to train on that mini-batch, so a CPU-based
+scheduler cannot hide the segregation latency.
+"""
+
+from benchmarks.figutils import BATCH_PER_GPU, WORKLOADS, cost_model
+from repro.analysis.report import format_table
+from repro.core import HotlineScheduler
+
+
+def build_rows():
+    rows = []
+    for label, config in WORKLOADS:
+        for gpus in (1, 2, 4):
+            costs = cost_model(config, gpus=gpus)
+            batch = gpus * BATCH_PER_GPU
+            segregation = costs.cpu_segregation_time(batch)
+            plan = HotlineScheduler(costs).plan_step(batch)
+            gpu_training = plan.popular_exec_time + plan.non_popular_exec_time
+            rows.append(
+                (label, gpus, round(segregation * 1e3, 2), round(gpu_training * 1e3, 2),
+                 round(segregation / gpu_training, 2))
+            )
+    return rows
+
+
+def test_fig07_cpu_segregation_vs_gpu_training(benchmark):
+    rows = benchmark(build_rows)
+    print()
+    print(
+        format_table(
+            ["dataset", "GPUs", "CPU segregation (ms)", "GPU training (ms)", "ratio"],
+            rows,
+            title="Figure 7: CPU-based segregation vs GPU-based training",
+        )
+    )
+    ratios = [row[4] for row in rows]
+    # Segregation is never negligible and reaches >=2x for some workloads
+    # (the paper reports up to ~2.5x).
+    assert min(ratios) > 0.3
+    assert max(ratios) >= 2.0
+    assert max(ratios) < 5.0
+    # Segregation time grows with mini-batch size (1K -> 4K inputs).
+    for label, _config in WORKLOADS:
+        per_label = [row for row in rows if row[0] == label]
+        assert per_label[-1][2] > per_label[0][2]

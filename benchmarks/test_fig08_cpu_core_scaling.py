@@ -1,0 +1,41 @@
+"""Figure 8 — CPU segregation time vs number of CPU cores.
+
+Paper claim: segregating a 4K-input Criteo Terabyte mini-batch improves only
+modestly when adding cores and plateaus beyond ~24 cores, because the work
+is bound by parallel memory look-ups rather than compute throughput.
+"""
+
+import pytest
+
+from benchmarks.figutils import cost_model
+from repro.analysis.report import format_series
+from repro.models import RM3
+
+CORE_COUNTS = [1, 2, 4, 8, 16, 24, 32]
+
+
+def sweep_cores():
+    costs = cost_model(RM3, gpus=4)
+    return [costs.cpu_segregation_time(4096, cores=cores) for cores in CORE_COUNTS]
+
+
+def test_fig08_segregation_core_scaling(benchmark):
+    times = benchmark(sweep_cores)
+    print()
+    print(
+        format_series(
+            "Figure 8: Criteo Terabyte 4K mini-batch segregation",
+            CORE_COUNTS,
+            [t * 1e3 for t in times],
+            x_label="CPU cores",
+            y_label="time (ms)",
+        )
+    )
+    # Monotonically non-increasing with cores.
+    assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+    # Plateau: 24 -> 32 cores changes nothing.
+    assert times[CORE_COUNTS.index(32)] == pytest.approx(times[CORE_COUNTS.index(24)])
+    # But the total improvement from 1 to 32 cores is modest (< 4x), i.e. the
+    # workload is memory-bound, not compute-bound.
+    assert times[0] / times[-1] < 4.0
+    assert times[0] / times[-1] > 1.2

@@ -1,0 +1,49 @@
+"""Figure 9 — evolving access skew across days (Criteo Terabyte, table 20).
+
+Paper claim: the set of popular embeddings drifts as user behaviour changes
+day to day, so a static offline profile steadily loses coverage — the
+motivation for Hotline's online learning phase and periodic re-calibration.
+"""
+
+from benchmarks.figutils import cost_model
+from repro.analysis.report import format_series
+from repro.data.skew import EvolvingSkewGenerator, access_histogram, top_k_overlap
+from repro.models import RM3
+
+DAYS = [0, 1, 2, 3, 4, 5, 6]
+TABLE = 0  # the largest table of the scaled stand-in plays table 20's role
+TOP_K = 64
+
+
+def day_overlaps():
+    config = RM3.scaled(max_rows_per_table=4000)
+    generator = EvolvingSkewGenerator(config.dataset, drift_per_day=0.15, seed=3)
+    base = generator.day(0, 8000)
+    base_hist = access_histogram(base.sparse, config.dataset.rows_per_table)[TABLE]
+    overlaps = []
+    for day in DAYS:
+        log = generator.day(day, 8000)
+        hist = access_histogram(log.sparse, config.dataset.rows_per_table)[TABLE]
+        overlaps.append(top_k_overlap(base_hist, hist, TOP_K))
+    return overlaps
+
+
+def test_fig09_hot_set_drifts_across_days(benchmark):
+    overlaps = benchmark.pedantic(day_overlaps, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "Figure 9: overlap of day-0 hot set with later days (top-64 rows)",
+            DAYS,
+            overlaps,
+            x_label="day",
+            y_label="hot-set overlap",
+        )
+    )
+    assert overlaps[0] == 1.0
+    # The overlap decays: a static day-0 profile misses a growing share of
+    # the hot set as days pass.
+    assert overlaps[-1] < overlaps[1]
+    assert overlaps[-1] < 0.9
+    # But consecutive days stay correlated (the drift is gradual).
+    assert overlaps[1] > 0.5

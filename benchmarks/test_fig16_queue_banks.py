@@ -1,0 +1,47 @@
+"""Figure 16 — EAL design space: queue size x bank count vs parallel requests.
+
+Paper claim: a 512-entry input queue over 64 banks sustains ~60 parallel
+requests per iteration without collisions; fewer banks or shallower queues
+issue proportionally fewer requests.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.eal import expected_parallel_requests
+
+QUEUE_SIZES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+BANKS = [8, 16, 32, 64]
+
+
+def sweep():
+    table = {}
+    for banks in BANKS:
+        for queue in QUEUE_SIZES:
+            table[(banks, queue)] = expected_parallel_requests(queue, banks)
+    return table
+
+
+def test_fig16_queue_and_bank_design_space(benchmark):
+    table = benchmark(sweep)
+    print()
+    rows = []
+    for banks in BANKS:
+        rows.append([f"{banks}-banks"] + [round(table[(banks, q)], 1) for q in QUEUE_SIZES])
+    print(
+        format_table(
+            ["banks \\ queue"] + [str(q) for q in QUEUE_SIZES],
+            rows,
+            title="Figure 16: requests issued per iteration",
+        )
+    )
+    # More banks and deeper queues both increase issued requests.
+    for banks in BANKS:
+        values = [table[(banks, q)] for q in QUEUE_SIZES]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] <= banks
+    for queue in QUEUE_SIZES:
+        values = [table[(banks, queue)] for banks in BANKS]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    # The paper's design point: 64 banks x 512-entry queue -> ~60 requests.
+    assert 55 < table[(64, 512)] <= 64
+    # 8 banks saturate at 8 requests no matter the queue depth.
+    assert table[(8, 1024)] <= 8

@@ -1,0 +1,52 @@
+"""Figure 20 — per-iteration latency breakdown across frameworks.
+
+Paper claim: the hybrid baselines spend most of their iteration in
+CPU-side embedding work and CPU-GPU communication; Hotline removes the
+CPU-GPU communication for the popular µ-batch and hides the parameter
+gathering for the non-popular one, leaving a compute-dominated iteration
+with only a small overhead slice (online profiling).
+"""
+
+from benchmarks.figutils import BATCH_PER_GPU, WORKLOADS, cost_model
+from repro.analysis.breakdown import embedding_related_fraction, normalised_breakdown
+from repro.analysis.report import format_breakdown
+from repro.baselines import FAE, HybridCPUGPU, XDLParameterServer
+from repro.core import HotlineScheduler
+
+FRAMEWORKS = [
+    ("XDL", XDLParameterServer),
+    ("Intel DLRM", HybridCPUGPU),
+    ("FAE", FAE),
+    ("Hotline", HotlineScheduler),
+]
+
+
+def build_breakdowns():
+    result = {}
+    for label, config in WORKLOADS:
+        costs = cost_model(config, gpus=4)
+        for framework, cls in FRAMEWORKS:
+            timeline = cls(costs).step_timeline(4 * BATCH_PER_GPU)
+            result[(label, framework)] = normalised_breakdown(timeline)
+    return result
+
+
+def test_fig20_latency_breakdown_across_frameworks(benchmark):
+    breakdowns = benchmark(build_breakdowns)
+    print()
+    for (label, framework), breakdown in breakdowns.items():
+        if label == "Criteo Terabyte":
+            print(format_breakdown(f"Figure 20 - {label} / {framework}", breakdown))
+            print()
+
+    for label, _config in WORKLOADS:
+        hotline = embedding_related_fraction(breakdowns[(label, "Hotline")])
+        hybrid = embedding_related_fraction(breakdowns[(label, "Intel DLRM")])
+        xdl = embedding_related_fraction(breakdowns[(label, "XDL")])
+        # Hotline's embedding/communication share is far below the hybrids'.
+        assert hotline < hybrid, label
+        assert hotline < xdl, label
+    # For the embedding-heavy Criteo datasets the difference is dramatic.
+    for label in ("Criteo Kaggle", "Criteo Terabyte"):
+        assert embedding_related_fraction(breakdowns[(label, "Hotline")]) < 0.5
+        assert embedding_related_fraction(breakdowns[(label, "Intel DLRM")]) > 0.5

@@ -1,0 +1,51 @@
+"""Figure 21 — training throughput (epochs/hour) on 4 GPUs.
+
+Paper claim: Hotline delivers on average ~2.6x the epochs/hour of the
+Intel-optimized DLRM baseline, and its advantage grows with mini-batch size.
+"""
+
+from benchmarks.figutils import WORKLOADS, cost_model, geomean
+from repro.analysis.report import format_table
+from repro.baselines import HybridCPUGPU
+from repro.core import HotlineScheduler
+
+
+def build_rows():
+    rows = []
+    for label, config in WORKLOADS:
+        costs = cost_model(config, gpus=4)
+        hotline = HotlineScheduler(costs)
+        hybrid = HybridCPUGPU(costs)
+        for batch in (4096, 16384):
+            rows.append(
+                (
+                    label,
+                    batch,
+                    hybrid.epochs_per_hour(batch),
+                    hotline.epochs_per_hour(batch),
+                    hotline.epochs_per_hour(batch) / hybrid.epochs_per_hour(batch),
+                )
+            )
+    return rows
+
+
+def test_fig21_epochs_per_hour(benchmark):
+    rows = benchmark(build_rows)
+    print()
+    print(
+        format_table(
+            ["dataset", "batch", "DLRM epochs/h", "Hotline epochs/h", "ratio"],
+            [(l, b, round(d, 3), round(h, 3), round(r, 2)) for l, b, d, h, r in rows],
+            title="Figure 21: training throughput on 4 GPUs",
+        )
+    )
+    # Hotline always delivers higher throughput.
+    assert all(row[4] > 1.0 for row in rows)
+    # Average improvement at 4K batch is in the paper's ballpark (~2.6x).
+    at_4k = geomean(row[4] for row in rows if row[1] == 4096)
+    assert 1.8 < at_4k < 3.5
+    # Larger mini-batches widen the gap for the embedding-bound datasets.
+    for label in ("Criteo Kaggle", "Criteo Terabyte", "Avazu"):
+        small = next(r[4] for r in rows if r[0] == label and r[1] == 4096)
+        large = next(r[4] for r in rows if r[0] == label and r[1] == 16384)
+        assert large >= small

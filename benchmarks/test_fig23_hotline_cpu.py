@@ -1,0 +1,43 @@
+"""Figure 23 — Hotline accelerator vs a CPU-based Hotline implementation.
+
+Paper claim: driving the same µ-batch schedule from the CPU (multi-process
+segregation + gather) stalls the GPUs and leaves up to ~3.5x performance on
+the table relative to the Hotline accelerator.
+"""
+
+from benchmarks.figutils import BATCH_PER_GPU, WORKLOADS, cost_model
+from repro.analysis.report import format_table
+from repro.baselines import HotlineCPU
+from repro.core import HotlineScheduler
+
+
+def build_rows():
+    rows = []
+    for label, config in WORKLOADS:
+        for gpus in (1, 2, 4):
+            costs = cost_model(config, gpus=gpus)
+            batch = gpus * BATCH_PER_GPU
+            speedup = HotlineScheduler(costs).speedup_over(HotlineCPU(costs), batch)
+            rows.append((label, gpus, round(speedup, 2)))
+    return rows
+
+
+def test_fig23_accelerator_vs_cpu_hotline(benchmark):
+    rows = benchmark(build_rows)
+    print()
+    print(
+        format_table(
+            ["dataset", "GPUs", "Hotline-Acc speedup over Hotline-CPU"],
+            rows,
+            title="Figure 23: accelerator vs CPU-based segregation/gather",
+        )
+    )
+    speedups = [row[2] for row in rows]
+    # The accelerator always wins, by up to a few x but never absurdly.
+    assert all(s >= 1.0 for s in speedups)
+    assert max(speedups) > 1.8
+    assert max(speedups) < 4.5
+    # The gap is largest for the lookup-heavy Criteo-style datasets.
+    criteo_4gpu = next(r[2] for r in rows if r[0] == "Criteo Kaggle" and r[1] == 4)
+    taobao_4gpu = next(r[2] for r in rows if r[0] == "Taobao Alibaba" and r[1] == 4)
+    assert criteo_4gpu > taobao_4gpu

@@ -1,0 +1,41 @@
+"""Figure 24 — Hotline vs ScratchPipe-Ideal (lookahead prefetch cache).
+
+Paper claim: ScratchPipe-Ideal (with optimistically relaxed RAW hazards)
+matches Hotline on a single GPU, but as GPUs scale it keeps paying the
+embedding all-to-all, giving Hotline an average ~1.2x advantage at 4 GPUs.
+"""
+
+from benchmarks.figutils import BATCH_PER_GPU, WORKLOADS, cost_model, geomean
+from repro.analysis.report import format_table
+from repro.baselines import ScratchPipeIdeal
+from repro.core import HotlineScheduler
+
+
+def build_rows():
+    rows = []
+    for label, config in WORKLOADS:
+        for gpus in (1, 2, 4):
+            costs = cost_model(config, gpus=gpus)
+            batch = gpus * BATCH_PER_GPU
+            speedup = HotlineScheduler(costs).speedup_over(ScratchPipeIdeal(costs), batch)
+            rows.append((label, gpus, round(speedup, 2)))
+    return rows
+
+
+def test_fig24_hotline_vs_scratchpipe_ideal(benchmark):
+    rows = benchmark(build_rows)
+    print()
+    print(
+        format_table(
+            ["dataset", "GPUs", "Hotline speedup over ScratchPipe-Ideal"],
+            rows,
+            title="Figure 24: Hotline vs ScratchPipe-Ideal",
+        )
+    )
+    one_gpu = [r[2] for r in rows if r[1] == 1]
+    four_gpu = [r[2] for r in rows if r[1] == 4]
+    # Near-parity on one GPU (no all-to-all to eliminate).
+    assert all(0.85 <= s <= 1.25 for s in one_gpu)
+    # A clear but modest advantage at 4 GPUs (paper: ~1.2x average).
+    assert 1.0 < geomean(four_gpu) < 1.5
+    assert geomean(four_gpu) > geomean(one_gpu)

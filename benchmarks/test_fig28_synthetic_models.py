@@ -1,0 +1,60 @@
+"""Figure 28 — Hotline vs Intel DLRM on large multi-hot synthetic models.
+
+Paper claim: Hotline's benefits persist for much larger, multi-hot models
+(SYN-M1: 102 sparse features / 196 GB, SYN-M2: 204 features / 390 GB);
+the gain drops slightly (from ~2.5x to ~2.2x) as the feature count grows
+because the fixed-size lookup-engine array needs more cycles per input.
+"""
+
+from benchmarks.figutils import cost_model
+from repro.analysis.report import format_table
+from repro.baselines import HybridCPUGPU
+from repro.core import HotlineScheduler
+from repro.models import SYN_M1, SYN_M2
+
+BATCH = 4096
+
+
+def build_rows():
+    rows = []
+    for config in (SYN_M1, SYN_M2):
+        costs = cost_model(config, gpus=4)
+        hotline = HotlineScheduler(costs)
+        hybrid = HybridCPUGPU(costs)
+        segregation_cycles = hotline.accelerator.lookup_engines.segregation_cycles(
+            BATCH, config.dataset.lookups_per_sample()
+        )
+        rows.append(
+            (
+                config.name,
+                config.num_sparse_features,
+                round(config.embedding_gigabytes),
+                round(hotline.speedup_over(hybrid, BATCH), 2),
+                segregation_cycles,
+            )
+        )
+    return rows
+
+
+def test_fig28_synthetic_model_scaling(benchmark):
+    rows = benchmark(build_rows)
+    print()
+    print(
+        format_table(
+            ["model", "sparse features", "size GB", "Hotline speedup over DLRM", "segregation cycles"],
+            rows,
+            title="Figure 28: large multi-hot synthetic models (4 GPUs)",
+        )
+    )
+    syn1, syn2 = rows
+    # The benefit is sustained for both very large multi-hot models (the
+    # paper reports 2.5x and 2.2x; our CPU-side multi-hot cost model is more
+    # pessimistic, so the absolute factor is larger — see EXPERIMENTS.md).
+    assert syn1[3] > 1.8
+    assert syn2[3] > 1.6
+    # Doubling the sparse features doubles the segregation work on the
+    # fixed-size 64-engine array (the mechanism behind the paper's slight
+    # 2.5x -> 2.2x decline).
+    assert syn2[4] > 1.8 * syn1[4]
+    # The advantage does not grow disproportionately with model size.
+    assert syn2[3] < 1.3 * syn1[3]

@@ -1,0 +1,60 @@
+"""Figure 29 — performance/Watt and the accelerator's area/power breakdown.
+
+Paper claims: the EAL SRAM dominates the accelerator's 7.01 mm^2 area and
+its power; despite the added power, Hotline improves training
+throughput/Watt by ~3.9x over the baseline system (whose CPUs + 4 GPUs draw
+three orders of magnitude more power than the accelerator).
+"""
+
+import pytest
+
+from benchmarks.figutils import WORKLOADS, cost_model, geomean
+from repro.analysis.report import format_breakdown, format_table
+from repro.baselines import XDLParameterServer
+from repro.core import HotlineScheduler
+from repro.hwsim.energy import HOTLINE_ENERGY_MODEL, perf_per_watt_gain
+
+#: Nominal board powers of the baseline system (W).
+CPU_POWER = 85.0
+GPU_POWER = 300.0
+NUM_GPUS = 4
+
+
+def build():
+    baseline_power = CPU_POWER + NUM_GPUS * GPU_POWER
+    accelerator_power = HOTLINE_ENERGY_MODEL.total_power_w
+    gains = []
+    for label, config in WORKLOADS:
+        costs = cost_model(config, gpus=NUM_GPUS)
+        speedup = HotlineScheduler(costs).speedup_over(XDLParameterServer(costs), 4096)
+        gains.append(
+            (label, round(speedup, 2),
+             round(perf_per_watt_gain(speedup, baseline_power, accelerator_power), 2))
+        )
+    return gains, HOTLINE_ENERGY_MODEL.area_breakdown(), HOTLINE_ENERGY_MODEL.power_breakdown()
+
+
+def test_fig29_perf_per_watt_and_breakdown(benchmark):
+    gains, area, power = benchmark(build)
+    print()
+    print(
+        format_table(
+            ["dataset", "speedup", "perf/Watt gain"],
+            gains,
+            title="Figure 29 (left): throughput/Watt vs the software baseline",
+        )
+    )
+    print()
+    print(format_breakdown("Figure 29 (right): accelerator area breakdown", area))
+    print()
+    print(format_breakdown("Figure 29 (right): accelerator power breakdown", power))
+
+    # The accelerator adds ~4-5 W to a ~1.3 kW system, so the perf/Watt gain
+    # essentially equals the speedup (paper: 3.9x vs its baseline).
+    for _label, speedup, gain in gains:
+        assert gain == pytest.approx(speedup, rel=0.01)
+    assert geomean(g for _, _, g in gains) > 2.5
+    # The EAL dominates both area and power.
+    assert max(area, key=area.get).startswith("Embedding Access Logger")
+    assert max(power, key=power.get).startswith("Embedding Access Logger")
+    assert area[max(area, key=area.get)] > 0.4

@@ -1,0 +1,58 @@
+"""Table II — recommender model architectures and parameter counts.
+
+Regenerates the model-zoo table (features, parameters, MLP configuration,
+embedding size in GB) from the ModelConfig objects and checks the headline
+numbers against the paper.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.models import PAPER_MODELS, RM1, RM2, RM3, RM4
+
+
+def build_table():
+    rows = []
+    for name in ("RM1", "RM2", "RM3", "RM4", "SYN-M1", "SYN-M2"):
+        config = PAPER_MODELS[name]
+        rows.append(
+            (
+                name,
+                config.dataset.name,
+                config.num_dense_features,
+                config.num_sparse_features,
+                config.embedding_dim,
+                config.bottom_mlp,
+                config.top_mlp,
+                round(config.embedding_gigabytes, 2),
+            )
+        )
+    return rows
+
+
+def test_table2_model_zoo(benchmark):
+    rows = benchmark(build_table)
+    print()
+    print(
+        format_table(
+            ["model", "dataset", "dense", "sparse", "dim", "bottom MLP", "top MLP", "size GB"],
+            rows,
+            title="Table II: Recommender Model Architecture and Parameters",
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    # Feature counts from Table II.
+    assert by_name["RM2"][2:5] == (13, 26, 16)
+    assert by_name["RM3"][2:5] == (13, 26, 64)
+    assert by_name["RM4"][2:5] == (1, 21, 16)
+    assert by_name["RM1"][2:5] == (1, 3, 16)
+    # Model sizes: 2 GB, 63 GB, 0.55 GB, 0.3 GB (within generator tolerance).
+    assert by_name["RM2"][7] == pytest.approx(2.0, rel=0.15)
+    assert by_name["RM3"][7] == pytest.approx(63.0, rel=0.15)
+    assert by_name["RM4"][7] == pytest.approx(0.55, rel=0.25)
+    assert by_name["RM1"][7] == pytest.approx(0.3, rel=0.25)
+    # Sparse parameter totals (rows): 33.8M / 266M / 9.3M / 5.1M.
+    assert RM2.dataset.total_rows == pytest.approx(33.8e6, rel=0.02)
+    assert RM3.dataset.total_rows == pytest.approx(266e6, rel=0.02)
+    assert RM4.dataset.total_rows == pytest.approx(9.3e6, rel=0.02)
+    assert RM1.dataset.total_rows == pytest.approx(5.1e6, rel=0.02)

@@ -1,0 +1,79 @@
+"""Scenario: ad click-through-rate training under drifting popularity.
+
+Real recommendation traffic changes hour to hour: the items that are hot
+today are not the items that were hot last week (the paper's Figure 9).
+This example simulates several "days" of Criteo-Terabyte-like traffic with a
+drifting hot set and shows why Hotline re-enters its learning phase
+periodically:
+
+* a *static* hot set profiled on day 0 classifies fewer and fewer inputs as
+  popular on later days (so less work stays on the GPUs);
+* Hotline's *online re-calibration* restores the popular fraction each day.
+
+Run:  python examples/ad_ctr_with_drifting_popularity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.accelerator import HotlineAccelerator
+from repro.core.eal import EALConfig
+from repro.core.lookup_engine import LookupEngineArray
+from repro.data.skew import EvolvingSkewGenerator
+from repro.models import RM3
+
+NUM_DAYS = 6
+SAMPLES_PER_DAY = 6000
+
+
+def popular_fraction(sparse: np.ndarray, hot_sets) -> float:
+    """Fraction of inputs whose every lookup hits the tracked hot set."""
+    return float(LookupEngineArray(64).classify_with_hot_sets(sparse, hot_sets).mean())
+
+
+def main() -> None:
+    config = RM3.scaled(max_rows_per_table=3000)
+    generator = EvolvingSkewGenerator(config.dataset, drift_per_day=0.2, seed=11)
+    num_tables = config.num_sparse_features
+
+    def new_accelerator() -> HotlineAccelerator:
+        return HotlineAccelerator(
+            row_bytes=config.embedding_dim * 4,
+            eal_config=EALConfig(size_bytes=1 << 15, ways=16),
+        )
+
+    # Static profile: learn once on day 0 and never again (FAE-style).
+    static_accel = new_accelerator()
+    day0 = generator.day(0, SAMPLES_PER_DAY)
+    static_accel.learn_from_batch(day0.sparse[: SAMPLES_PER_DAY // 2])
+    static_hot = static_accel.hot_sets(num_tables)
+
+    # Online profile: re-calibrate at the start of every day (Hotline).
+    online_accel = new_accelerator()
+
+    print(f"{'day':>4}  {'static profile':>16}  {'online re-calibration':>22}")
+    static_history, online_history = [], []
+    for day in range(NUM_DAYS):
+        traffic = generator.day(day, SAMPLES_PER_DAY)
+        online_accel.recalibrate()
+        online_accel.learn_from_batch(traffic.sparse[: SAMPLES_PER_DAY // 2])
+        online_hot = online_accel.hot_sets(num_tables)
+
+        evaluation = traffic.sparse[SAMPLES_PER_DAY // 2 :]
+        static_frac = popular_fraction(evaluation, static_hot)
+        online_frac = popular_fraction(evaluation, online_hot)
+        static_history.append(static_frac)
+        online_history.append(online_frac)
+        print(f"{day:>4}  {static_frac:>15.1%}  {online_frac:>21.1%}")
+
+    print("\nThe static day-0 profile loses popular coverage as user behaviour "
+          "drifts, while online re-calibration keeps the popular fraction high —")
+    print(f"day-{NUM_DAYS - 1} popular inputs: static {static_history[-1]:.1%} vs "
+          f"online {online_history[-1]:.1%}.")
+    print("A lower popular fraction means more inputs take the slow CPU path, "
+          "which is exactly why Hotline profiles online (paper Section III, Challenge 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Present so that ``pip install -e .`` works in offline environments whose
+setuptools lacks the ``wheel`` package required by the PEP 517 editable
+path (use ``pip install -e . --no-build-isolation --no-use-pep517`` there).
+Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Analysis and reporting utilities for the evaluation figures.
+
+* :mod:`repro.analysis.breakdown` — per-phase training-time breakdowns in
+  the category scheme the paper's stacked-bar figures use (Figs. 3-5, 20).
+* :mod:`repro.analysis.roofline` — the roofline argument of Section IV
+  (HBM vs DDR4 embedding-lookup bandwidth bound, ~3x theoretical gain).
+* :mod:`repro.analysis.report` — plain-text table/series formatting used by
+  the benchmark harness to print the rows each figure plots.
+"""
+
+from repro.analysis.breakdown import BREAKDOWN_CATEGORIES, normalised_breakdown, merge_breakdowns
+from repro.analysis.roofline import embedding_lookup_roofline, RooflinePoint
+from repro.analysis.report import format_table, format_series, format_breakdown
+
+__all__ = [
+    "BREAKDOWN_CATEGORIES",
+    "normalised_breakdown",
+    "merge_breakdowns",
+    "embedding_lookup_roofline",
+    "RooflinePoint",
+    "format_table",
+    "format_series",
+    "format_breakdown",
+]

@@ -1,0 +1,57 @@
+"""Plain-text formatting of figure rows and tables.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: a table is a list of rows, a figure is one or more named series.
+These helpers keep the output format consistent across benches and are also
+reused by the example scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def format_breakdown(name: str, breakdown: Mapping[str, float]) -> str:
+    """Render a category -> fraction breakdown as percentages."""
+    rows = [(category, f"{100.0 * value:.1f}%") for category, value in breakdown.items() if value]
+    return format_table(["phase", "share"], rows, title=name)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,52 @@
+"""Roofline analysis of the embedding-lookup phase (Section IV).
+
+The paper's roofline argument: embedding lookups are bandwidth-bound, so
+moving them from CPU DDR4 (76.8 GB/s peak, much less for scattered rows) to
+GPU HBM (900 GB/s) offers a theoretical ~3x gain over Intel's optimized
+EmbeddingBag operator; in practice Hotline achieves ~2.2x end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwsim.device import GPUSpec, CPUSpec, TESLA_V100, XEON_SILVER_4116
+from repro.models.configs import ModelConfig
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operating point of the embedding-lookup roofline.
+
+    Attributes:
+        name: Label (e.g. "CPU DDR4", "GPU HBM2").
+        bandwidth: Achievable bandwidth for scattered row gathers (B/s).
+        lookup_time_s: Time to gather one mini-batch's embedding rows.
+    """
+
+    name: str
+    bandwidth: float
+    lookup_time_s: float
+
+
+def embedding_lookup_roofline(
+    model: ModelConfig,
+    batch_size: int,
+    cpu: CPUSpec = XEON_SILVER_4116,
+    gpu: GPUSpec = TESLA_V100,
+) -> dict[str, RooflinePoint]:
+    """Compare CPU-DRAM vs GPU-HBM embedding gather for one mini-batch.
+
+    Returns one :class:`RooflinePoint` per memory system plus the resulting
+    theoretical speedup under the key ``"speedup"`` (stored as a point whose
+    ``bandwidth`` field carries the ratio).
+    """
+    lookup_bytes = batch_size * model.lookup_bytes_per_sample()
+    cpu_time = cpu.memory.gather_time(lookup_bytes)
+    gpu_time = gpu.memory.gather_time(lookup_bytes)
+    speedup = cpu_time / gpu_time if gpu_time > 0 else float("inf")
+    return {
+        "cpu": RooflinePoint("CPU DDR4", cpu.memory.gather_bandwidth, cpu_time),
+        "gpu": RooflinePoint("GPU HBM2", gpu.memory.gather_bandwidth, gpu_time),
+        "speedup": RooflinePoint("HBM over DDR4", speedup, cpu_time - gpu_time),
+    }

@@ -1,0 +1,43 @@
+"""Baseline execution modes the paper compares Hotline against.
+
+Every baseline is a *schedule* over the shared cost primitives of
+:mod:`repro.perf.costs`:
+
+* :class:`HybridCPUGPU` — the Intel-optimized DLRM hybrid mode: embeddings
+  live on the CPU, MLPs run data-parallel on the GPUs (Figure 1a).
+* :class:`XDLParameterServer` — XDL's TensorFlow-based parameter-server
+  design, the slowest software baseline.
+* :class:`FAE` — offline-profiled hot/cold embedding placement with
+  CPU-based scheduling, coherence synchronisation, and a ~15 % static
+  profiling overhead.
+* :class:`HugeCTRGPUOnly` — NVIDIA's GPU-only model-parallel mode with
+  per-iteration all-to-all collectives (Figure 1b); raises on models whose
+  embeddings do not fit in aggregate HBM.
+* :class:`ScratchPipeIdeal` — an idealised lookahead prefetching cache
+  (relaxed RAW dependencies), which matches Hotline on one GPU but pays
+  all-to-all costs as GPUs scale.
+* :class:`HotlineCPU` — the Hotline schedule with CPU-based (rather than
+  accelerator-based) segregation and gathering, used in Figure 23.
+
+The functional (accuracy) baseline is simply ``DLRM.train_step`` /
+``TBSM.train_step``; see :mod:`repro.core.pipeline` for the equivalence.
+"""
+
+from repro.baselines.base import ExecutionModel, OutOfMemoryError
+from repro.baselines.hybrid import HybridCPUGPU
+from repro.baselines.xdl import XDLParameterServer
+from repro.baselines.fae import FAE
+from repro.baselines.hugectr import HugeCTRGPUOnly
+from repro.baselines.scratchpipe import ScratchPipeIdeal
+from repro.baselines.hotline_cpu import HotlineCPU
+
+__all__ = [
+    "ExecutionModel",
+    "OutOfMemoryError",
+    "HybridCPUGPU",
+    "XDLParameterServer",
+    "FAE",
+    "HugeCTRGPUOnly",
+    "ScratchPipeIdeal",
+    "HotlineCPU",
+]

@@ -1,0 +1,77 @@
+"""HugeCTR-style GPU-only model-parallel execution mode.
+
+Figure 1b of the paper: the embedding tables are sharded across the HBM of
+all GPUs (model parallel) while the MLPs run data parallel.  Every iteration
+exchanges the looked-up embedding vectors with an all-to-all collective in
+the forward pass and the corresponding gradients with another all-to-all in
+the backward pass.  On a single NVLink node the all-to-all already costs
+~12 % of the iteration (Figure 4); across InfiniBand-connected nodes it
+exceeds 50 % (Figure 5).  Models whose embeddings exceed the aggregate HBM
+capacity cannot run at all (OOM in Figures 22 and 30).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ExecutionModel, OutOfMemoryError
+from repro.hwsim.trace import Timeline
+
+
+class HugeCTRGPUOnly(ExecutionModel):
+    """The GPU-only model-parallel schedule (HugeCTR)."""
+
+    name = "HugeCTR (GPU-only)"
+
+    def is_feasible(self) -> bool:
+        """GPU-only mode requires the embeddings to fit in aggregate HBM."""
+        return self.costs.embedding_fits_gpu_only()
+
+    def step_timeline(self, batch_size: int) -> Timeline:
+        """One GPU-only iteration with forward and backward all-to-all."""
+        if not self.is_feasible():
+            raise OutOfMemoryError(
+                f"{self.costs.model.name}: embeddings "
+                f"({self.costs.model.embedding_gigabytes:.1f} GB) do not fit in "
+                f"{self.costs.cluster.total_gpus} GPU(s) of HBM"
+            )
+        costs = self.costs
+        num_gpus = costs.num_gpus
+        samples_per_gpu = max(1, batch_size // num_gpus)
+        timeline = Timeline()
+        now = 0.0
+
+        overhead = costs.overheads.gpu_iteration_overhead_s
+        timeline.add("cpu", "overhead", now, overhead, "read mini-batch")
+        now += overhead
+
+        # Embedding lookup from the local HBM shard.
+        lookup = costs.gpu_embedding_lookup_time(samples_per_gpu)
+        timeline.add("gpu", "embedding", now, lookup, "HBM embedding lookup")
+        now += lookup
+
+        # Forward all-to-all of the pooled vectors.
+        a2a_forward = costs.embedding_alltoall_time(samples_per_gpu)
+        timeline.add("gpu", "alltoall", now, a2a_forward, "embedding all-to-all")
+        now += a2a_forward
+
+        forward = costs.mlp_forward_time(samples_per_gpu)
+        timeline.add("gpu", "mlp", now, forward, "MLP forward")
+        now += forward
+        backward = costs.mlp_backward_time(samples_per_gpu)
+        timeline.add("gpu", "backward", now, backward, "MLP backward")
+        now += backward
+
+        # Backward all-to-all of the embedding gradients.
+        a2a_backward = costs.embedding_alltoall_time(samples_per_gpu)
+        timeline.add("gpu", "alltoall", now, a2a_backward, "gradient all-to-all")
+        now += a2a_backward
+
+        allreduce = costs.dense_allreduce_time()
+        timeline.add("gpu", "comm", now, allreduce, "dense all-reduce")
+        now += allreduce
+
+        # Optimizer: dense + sparse updates both on the GPUs.
+        dense_opt = costs.dense_optimizer_time()
+        sparse_opt = costs.gpu_embedding_update_time(samples_per_gpu)
+        timeline.add("gpu", "optimizer", now, dense_opt + sparse_opt, "optimizer updates")
+        now += dense_opt + sparse_opt
+        return timeline

@@ -1,0 +1,70 @@
+"""Hybrid CPU-GPU execution mode (Intel-optimized DLRM baseline).
+
+Figure 1a of the paper: embedding tables are stored in CPU DRAM; the CPU
+performs the embedding lookups and the sparse optimizer update (lock-free),
+the pooled embedding vectors travel over PCIe to the GPUs, which execute the
+MLPs data-parallel and all-reduce their dense gradients.  The phases are
+largely serialised, which is why embedding work plus CPU-GPU communication
+reaches up to 75 % of the training time on the large datasets (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ExecutionModel
+from repro.hwsim.trace import Timeline
+
+
+class HybridCPUGPU(ExecutionModel):
+    """The Intel-optimized CPU-GPU hybrid DLRM schedule."""
+
+    name = "Intel-optimized DLRM (hybrid)"
+
+    def step_timeline(self, batch_size: int) -> Timeline:
+        """One hybrid iteration: CPU embeddings, PCIe transfer, GPU MLPs."""
+        costs = self.costs
+        num_gpus = costs.num_gpus
+        samples_per_gpu = max(1, batch_size // num_gpus)
+        timeline = Timeline()
+        now = 0.0
+
+        # Mini-batch read + host-side dispatch overhead.
+        overhead = costs.overheads.gpu_iteration_overhead_s
+        timeline.add("cpu", "overhead", now, overhead, "read mini-batch")
+        now += overhead
+
+        # CPU embedding lookup for the full mini-batch.
+        lookup = costs.cpu_embedding_lookup_time(batch_size)
+        timeline.add("cpu", "embedding", now, lookup, "CPU embedding lookup")
+        now += lookup
+
+        # Pooled embeddings to every GPU over PCIe (parallel across GPUs).
+        to_gpu = costs.cpu_to_gpu_embedding_transfer_time(samples_per_gpu)
+        timeline.add("pcie", "comm", now, to_gpu, "embeddings to GPUs")
+        now += to_gpu
+
+        # Data-parallel MLP forward and backward on each GPU.
+        forward = costs.mlp_forward_time(samples_per_gpu)
+        timeline.add("gpu", "mlp", now, forward, "bottom+top MLP forward")
+        now += forward
+        backward = costs.mlp_backward_time(samples_per_gpu)
+        timeline.add("gpu", "backward", now, backward, "MLP backward")
+        now += backward
+
+        # Dense gradient all-reduce across GPUs.
+        allreduce = costs.dense_allreduce_time()
+        timeline.add("gpu", "comm", now, allreduce, "dense all-reduce")
+        now += allreduce
+
+        # Embedding gradients back to the CPU over PCIe.
+        to_cpu = costs.gpu_to_cpu_gradient_transfer_time(samples_per_gpu)
+        timeline.add("pcie", "comm", now, to_cpu, "embedding grads to CPU")
+        now += to_cpu
+
+        # Optimizer: dense update on GPU overlaps with the CPU sparse update;
+        # the CPU update dominates.
+        dense_opt = costs.dense_optimizer_time()
+        sparse_opt = costs.cpu_embedding_update_time(batch_size)
+        timeline.add("gpu", "optimizer", now, dense_opt, "dense optimizer")
+        timeline.add("cpu", "optimizer", now, sparse_opt, "CPU embedding update")
+        now += max(dense_opt, sparse_opt)
+        return timeline

@@ -1,0 +1,64 @@
+"""XDL parameter-server execution mode.
+
+XDL [Jiang et al., DLP-KDD'19] is an industrial TensorFlow-based framework
+that keeps embeddings in a CPU-side parameter server.  Workers pull the
+working parameters, compute on GPUs, and push gradients back.  Compared to
+the Intel-optimized hybrid baseline it pays additional parameter-server
+round-trips and runs on an older TensorFlow-1.2 runtime, making it the
+slowest baseline in Figure 19 (Hotline is ~3.4x faster at 4 GPUs).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ExecutionModel
+from repro.hwsim.trace import Timeline
+
+
+class XDLParameterServer(ExecutionModel):
+    """The XDL parameter-server schedule."""
+
+    name = "XDL (parameter server)"
+
+    def step_timeline(self, batch_size: int) -> Timeline:
+        """One XDL iteration: PS pull, GPU compute, PS push."""
+        costs = self.costs
+        factor = costs.overheads.ps_overhead_factor
+        num_gpus = costs.num_gpus
+        samples_per_gpu = max(1, batch_size // num_gpus)
+        timeline = Timeline()
+        now = 0.0
+
+        overhead = 1.5 * costs.overheads.gpu_iteration_overhead_s
+        timeline.add("cpu", "overhead", now, overhead, "read mini-batch + PS session")
+        now += overhead
+
+        # Parameter-server pull: CPU-side lookup plus serialization overhead.
+        lookup = factor * costs.cpu_embedding_lookup_time(batch_size)
+        timeline.add("cpu", "embedding", now, lookup, "PS embedding pull")
+        now += lookup
+
+        to_gpu = factor * costs.cpu_to_gpu_embedding_transfer_time(samples_per_gpu)
+        timeline.add("pcie", "comm", now, to_gpu, "parameters to workers")
+        now += to_gpu
+
+        forward = 1.2 * costs.mlp_forward_time(samples_per_gpu)
+        timeline.add("gpu", "mlp", now, forward, "MLP forward (TF runtime)")
+        now += forward
+        backward = 1.2 * costs.mlp_backward_time(samples_per_gpu)
+        timeline.add("gpu", "backward", now, backward, "MLP backward (TF runtime)")
+        now += backward
+
+        allreduce = costs.dense_allreduce_time()
+        timeline.add("gpu", "comm", now, allreduce, "dense gradient sync")
+        now += allreduce
+
+        to_cpu = factor * costs.gpu_to_cpu_gradient_transfer_time(samples_per_gpu)
+        timeline.add("pcie", "comm", now, to_cpu, "gradient push to PS")
+        now += to_cpu
+
+        sparse_opt = factor * costs.cpu_embedding_update_time(batch_size)
+        timeline.add("cpu", "optimizer", now, sparse_opt, "PS embedding update")
+        dense_opt = costs.dense_optimizer_time()
+        timeline.add("gpu", "optimizer", now, dense_opt, "dense optimizer")
+        now += max(sparse_opt, dense_opt)
+        return timeline

@@ -1,0 +1,73 @@
+"""Hotline core: the accelerator and the heterogeneous training pipeline.
+
+This package implements the paper's contribution:
+
+* :mod:`repro.core.eal` — the Embedding Access Logger, a 4 MB multi-banked
+  SRAM cache with SRRIP replacement that tracks frequently-accessed
+  embedding indices online (Section V-B, Figures 14-16).
+* :mod:`repro.core.lookup_engine` — the parallel 2-D lookup network with a
+  Feistel-network randomizer that classifies inputs as popular or
+  non-popular (Section V-C, Figure 17).
+* :mod:`repro.core.dispatcher` — the Data Dispatcher: address registers,
+  memory controller, input classifier, and input eDRAM (Section V-A).
+* :mod:`repro.core.reducer` — sparse-length-sum pooling ALU array
+  (Section V-D).
+* :mod:`repro.core.isa` — the accelerator's six-instruction ISA and driver
+  (Section V-E, Table I).
+* :mod:`repro.core.classifier` / :mod:`repro.core.placement` — µ-batch
+  fragmentation and the access-aware embedding layout.
+* :mod:`repro.core.accelerator` — the assembled Hotline accelerator device
+  model with Table IV specs, segregation-cycle and area/energy models.
+* :mod:`repro.core.scheduler` — the layout-aware pipeline scheduler that
+  overlaps non-popular parameter gathering with popular µ-batch execution
+  (Figure 12).
+* :mod:`repro.core.pipeline` — the end-to-end Hotline trainer (learning
+  phase + acceleration phase) producing both functional training results
+  and simulated wall-clock time.
+"""
+
+from repro.core.eal import (
+    EALConfig,
+    EmbeddingAccessLogger,
+    OracleLFUTracker,
+    expected_parallel_requests,
+    simulate_parallel_requests,
+)
+from repro.core.lookup_engine import FeistelRandomizer, LookupEngine, LookupEngineArray
+from repro.core.dispatcher import AddressRegisters, DataDispatcher, InputEDRAM
+from repro.core.reducer import Reducer
+from repro.core.isa import Opcode, Instruction, InstructionDriver, AcceleratorInterpreter
+from repro.core.classifier import MicroBatches, split_minibatch
+from repro.core.placement import EmbeddingPlacement
+from repro.core.accelerator import AcceleratorSpec, HotlineAccelerator, HOTLINE_ACCELERATOR_SPEC
+from repro.core.scheduler import HotlineStepPlan, HotlineScheduler
+from repro.core.pipeline import HotlineTrainer, TrainingResult
+
+__all__ = [
+    "EALConfig",
+    "EmbeddingAccessLogger",
+    "OracleLFUTracker",
+    "expected_parallel_requests",
+    "simulate_parallel_requests",
+    "FeistelRandomizer",
+    "LookupEngine",
+    "LookupEngineArray",
+    "AddressRegisters",
+    "DataDispatcher",
+    "InputEDRAM",
+    "Reducer",
+    "Opcode",
+    "Instruction",
+    "InstructionDriver",
+    "AcceleratorInterpreter",
+    "MicroBatches",
+    "split_minibatch",
+    "EmbeddingPlacement",
+    "AcceleratorSpec",
+    "HotlineAccelerator",
+    "HOTLINE_ACCELERATOR_SPEC",
+    "HotlineStepPlan",
+    "HotlineScheduler",
+    "HotlineTrainer",
+    "TrainingResult",
+]

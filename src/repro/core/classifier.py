@@ -1,0 +1,69 @@
+"""Mini-batch fragmentation into popular and non-popular µ-batches.
+
+This is the data-level operation at the heart of Hotline (Section III,
+Challenge 1): a mini-batch M is split into a popular µ-batch O (inputs whose
+every lookup hits a frequently-accessed embedding) and a non-popular
+µ-batch X (everything else), with O ∪ X = M and O ∩ X = ∅ (Eq. 3).
+Because the BCE loss is a sum over inputs, training on O and X separately
+and accumulating the gradients is numerically identical to training on M
+(Eq. 5) — a property the test-suite verifies bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batch import MiniBatch
+
+
+@dataclass
+class MicroBatches:
+    """The two µ-batches produced from one mini-batch.
+
+    Attributes:
+        popular: Inputs touching only frequently-accessed rows.
+        non_popular: Inputs touching at least one non-frequently-accessed row.
+        popular_mask: Boolean mask over the original mini-batch.
+    """
+
+    popular: MiniBatch
+    non_popular: MiniBatch
+    popular_mask: np.ndarray
+
+    @property
+    def popular_fraction(self) -> float:
+        """Fraction of inputs classified popular."""
+        total = self.popular.size + self.non_popular.size
+        return self.popular.size / total if total else 0.0
+
+    @property
+    def sizes(self) -> tuple[int, int]:
+        """(popular size, non-popular size)."""
+        return self.popular.size, self.non_popular.size
+
+
+def split_minibatch(batch: MiniBatch, hot_sets: list[np.ndarray]) -> MicroBatches:
+    """Fragment ``batch`` into popular / non-popular µ-batches.
+
+    Args:
+        batch: The mini-batch to fragment.
+        hot_sets: Per-table arrays of frequently-accessed row ids (from the
+            EAL or an offline profiler).
+
+    Returns:
+        A :class:`MicroBatches` whose two µ-batches partition the input.
+    """
+    if len(hot_sets) != batch.num_tables:
+        raise ValueError(
+            f"expected {batch.num_tables} hot sets (one per table), got {len(hot_sets)}"
+        )
+    mask = np.ones(batch.size, dtype=bool)
+    for table, hot in enumerate(hot_sets):
+        if hot.size == 0:
+            mask[:] = False
+            break
+        mask &= np.isin(batch.sparse[:, table, :], hot).all(axis=1)
+    popular, non_popular = batch.split(mask)
+    return MicroBatches(popular=popular, non_popular=non_popular, popular_mask=mask)

@@ -1,0 +1,139 @@
+"""The Data Dispatcher — Section V-A and Figure 13 of the paper.
+
+The dispatcher contains:
+
+* **Address Registers** holding the base address of every embedding table
+  in both CPU DRAM and GPU HBM;
+* the **Input Classifier**, which consults the EAL (via the Lookup Engine)
+  to tag incoming inputs as popular or non-popular;
+* the **Memory Controller**, which turns the non-popular µ-batch's lookups
+  into DMA read requests (for CPU-resident rows) and ``gpu_rd`` requests
+  (for GPU-resident rows);
+* a 2.5 MB **input eDRAM** buffering the non-popular µ-batch (enough for
+  mini-batches of up to 16 K inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.isa import Instruction, Opcode
+from repro.hwsim.units import MIB
+
+
+@dataclass
+class AddressRegisters:
+    """Base addresses of every embedding table in CPU and GPU memory."""
+
+    cpu_base: dict[int, int] = field(default_factory=dict)
+    gpu_base: dict[int, int] = field(default_factory=dict)
+
+    def register_table(self, table: int, cpu_address: int, gpu_address: int) -> None:
+        """Record the CPU and GPU base address of one table."""
+        if table < 0:
+            raise ValueError("table id must be non-negative")
+        self.cpu_base[table] = int(cpu_address)
+        self.gpu_base[table] = int(gpu_address)
+
+    def cpu_address(self, table: int, row: int, row_bytes: int) -> int:
+        """Physical CPU DRAM address of one embedding row."""
+        return self.cpu_base[table] + row * row_bytes
+
+    def gpu_address(self, table: int, row: int, row_bytes: int) -> int:
+        """GPU HBM address of one (replicated popular) embedding row."""
+        return self.gpu_base[table] + row * row_bytes
+
+    @property
+    def num_tables(self) -> int:
+        """Number of registered tables."""
+        return len(self.cpu_base)
+
+
+@dataclass(frozen=True)
+class InputEDRAM:
+    """The accelerator's input buffer for the non-popular µ-batch.
+
+    The paper provisions 2.5 MB, sized to hold mini-batches of up to 16 K
+    inputs (each input stores its sparse indices and a small header).
+    """
+
+    size_bytes: int = int(2.5 * MIB)
+    bytes_per_lookup: int = 4
+    header_bytes_per_input: int = 8
+
+    def bytes_for(self, num_inputs: int, lookups_per_input: int) -> int:
+        """Buffer bytes needed by ``num_inputs`` non-popular inputs."""
+        return num_inputs * (self.header_bytes_per_input + lookups_per_input * self.bytes_per_lookup)
+
+    def fits(self, num_inputs: int, lookups_per_input: int) -> bool:
+        """Whether the µ-batch fits in the eDRAM."""
+        return self.bytes_for(num_inputs, lookups_per_input) <= self.size_bytes
+
+    def max_inputs(self, lookups_per_input: int) -> int:
+        """Largest µ-batch that fits for a given lookups-per-input."""
+        per_input = self.header_bytes_per_input + lookups_per_input * self.bytes_per_lookup
+        return self.size_bytes // per_input
+
+
+class DataDispatcher:
+    """Generates the memory-request stream for a non-popular µ-batch."""
+
+    def __init__(
+        self,
+        address_registers: AddressRegisters,
+        edram: InputEDRAM | None = None,
+        row_bytes: int = 64,
+    ):
+        self.address_registers = address_registers
+        self.edram = edram or InputEDRAM()
+        self.row_bytes = row_bytes
+
+    def build_requests(
+        self,
+        sparse: np.ndarray,
+        hot_sets: list[np.ndarray],
+    ) -> list[Instruction]:
+        """Instruction stream gathering the working set of a µ-batch.
+
+        Rows tracked as popular are read from the GPU replica with
+        ``gpu_rd``; all other rows are fetched from CPU DRAM with ``dmard``.
+        Duplicate rows within the µ-batch are fetched only once.
+        """
+        batch, num_tables, pooling = sparse.shape
+        if len(hot_sets) != num_tables:
+            raise ValueError("one hot set per table is required")
+        if not self.edram.fits(batch, num_tables * pooling):
+            raise ValueError(
+                f"µ-batch of {batch} inputs does not fit in the {self.edram.size_bytes}-byte input eDRAM"
+            )
+        instructions: list[Instruction] = []
+        for table in range(num_tables):
+            rows = np.unique(sparse[:, table, :].reshape(-1))
+            hot = hot_sets[table]
+            hot_rows = rows[np.isin(rows, hot)] if hot.size else rows[:0]
+            cold_rows = rows[~np.isin(rows, hot)] if hot.size else rows
+            for row in cold_rows:
+                address = self.address_registers.cpu_address(table, int(row), self.row_bytes)
+                instructions.append(
+                    Instruction(Opcode.DMA_READ, operand1=address, operand2=self.row_bytes)
+                )
+            for row in hot_rows:
+                instructions.append(
+                    Instruction(Opcode.GPU_READ, operand1=0, operand2=int(row), table=table)
+                )
+        return instructions
+
+    def traffic_summary(self, instructions: list[Instruction]) -> dict[str, int]:
+        """Bytes requested from CPU DRAM vs GPU HBM for an instruction stream."""
+        cpu_bytes = sum(
+            instr.operand2 for instr in instructions if instr.opcode == Opcode.DMA_READ
+        )
+        gpu_rows = sum(1 for instr in instructions if instr.opcode == Opcode.GPU_READ)
+        return {
+            "cpu_bytes": int(cpu_bytes),
+            "gpu_bytes": int(gpu_rows * self.row_bytes),
+            "cpu_requests": sum(1 for i in instructions if i.opcode == Opcode.DMA_READ),
+            "gpu_requests": gpu_rows,
+        }

@@ -1,0 +1,231 @@
+"""The end-to-end Hotline trainer: learning phase + acceleration phase.
+
+This is the *functional* counterpart of :class:`~repro.core.scheduler.
+HotlineScheduler`.  It trains an actual numpy DLRM/TBSM model with the
+Hotline schedule:
+
+* **learning phase** — a small sampled fraction of mini-batches (~5 %) is
+  streamed through the accelerator's Embedding Access Logger to identify
+  the frequently-accessed rows; those rows become the GPU-resident hot
+  replica of the :class:`~repro.core.placement.EmbeddingPlacement`.
+* **acceleration phase** — every mini-batch is fragmented into a popular
+  and a non-popular µ-batch; both are trained, their gradients accumulate,
+  and the parameter update is applied once per mini-batch — which makes the
+  resulting model *numerically equivalent* to the baseline that trains on
+  the whole mini-batch at once (Eq. 5; verified by the test-suite).
+
+The trainer also accumulates the simulated wall-clock time of the schedule
+through an :class:`~repro.baselines.base.ExecutionModel`, so accuracy-vs-
+time curves (Figure 18) and throughput comparisons (Figure 21) come from a
+single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import ExecutionModel
+from repro.core.accelerator import HotlineAccelerator
+from repro.core.classifier import MicroBatches, split_minibatch
+from repro.core.placement import EmbeddingPlacement
+from repro.data.batch import MiniBatch
+from repro.data.loader import MiniBatchLoader
+from repro.nn.embedding import SparseGradient, merge_sparse_gradients
+from repro.nn.loss import bce_with_logits
+from repro.nn.metrics import binary_accuracy, log_loss, roc_auc
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run (baseline or Hotline).
+
+    Attributes:
+        losses: Per-iteration training loss (sum-reduced BCE).
+        auc_history: (iteration, validation AUC) pairs.
+        popular_fractions: Per-iteration popular µ-batch fraction (Hotline
+            runs only; empty for the baseline).
+        simulated_time_s: Simulated wall-clock time of the schedule.
+        final_metrics: Final validation accuracy / AUC / log-loss.
+    """
+
+    losses: list[float] = field(default_factory=list)
+    auc_history: list[tuple[int, float]] = field(default_factory=list)
+    popular_fractions: list[float] = field(default_factory=list)
+    simulated_time_s: float = 0.0
+    final_metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def iterations(self) -> int:
+        """Number of training iterations performed."""
+        return len(self.losses)
+
+    @property
+    def mean_popular_fraction(self) -> float:
+        """Average popular-input fraction across the run."""
+        if not self.popular_fractions:
+            return 0.0
+        return float(np.mean(self.popular_fractions))
+
+
+def evaluate(model, batch: MiniBatch) -> dict[str, float]:
+    """Validation accuracy, AUC, and log-loss of ``model`` on ``batch``."""
+    probabilities = model.predict(batch)
+    return {
+        "accuracy": binary_accuracy(batch.labels, probabilities),
+        "auc": roc_auc(batch.labels, probabilities),
+        "logloss": log_loss(batch.labels, probabilities),
+    }
+
+
+class ReferenceTrainer:
+    """Baseline trainer: one full mini-batch per step (DLRM/TBSM default)."""
+
+    def __init__(self, model, lr: float = 0.05, perf_model: ExecutionModel | None = None):
+        self.model = model
+        self.lr = lr
+        self.perf_model = perf_model
+
+    def train(
+        self,
+        loader: MiniBatchLoader,
+        *,
+        epochs: int = 1,
+        eval_batch: MiniBatch | None = None,
+        eval_every: int = 0,
+    ) -> TrainingResult:
+        """Train for ``epochs`` epochs, recording losses and AUC."""
+        result = TrainingResult()
+        iteration = 0
+        for _epoch in range(epochs):
+            for batch in loader:
+                loss = self.model.train_step(batch, lr=self.lr)
+                result.losses.append(loss)
+                if self.perf_model is not None:
+                    result.simulated_time_s += self.perf_model.step_time(batch.size)
+                iteration += 1
+                if eval_batch is not None and eval_every and iteration % eval_every == 0:
+                    result.auc_history.append((iteration, evaluate(self.model, eval_batch)["auc"]))
+        if eval_batch is not None:
+            result.final_metrics = evaluate(self.model, eval_batch)
+            result.auc_history.append((iteration, result.final_metrics["auc"]))
+        return result
+
+
+class HotlineTrainer:
+    """Trains a model with the Hotline µ-batch schedule."""
+
+    def __init__(
+        self,
+        model,
+        accelerator: HotlineAccelerator | None = None,
+        *,
+        lr: float = 0.05,
+        sample_fraction: float = 0.05,
+        hbm_budget_bytes: float = 512 * 1024 * 1024,
+        perf_model: ExecutionModel | None = None,
+    ):
+        self.model = model
+        self.accelerator = accelerator or HotlineAccelerator(
+            row_bytes=model.config.embedding_dim * model.config.dtype_bytes
+        )
+        self.lr = lr
+        self.sample_fraction = sample_fraction
+        self.hbm_budget_bytes = hbm_budget_bytes
+        self.perf_model = perf_model
+        self.placement: EmbeddingPlacement | None = None
+
+    # ------------------------------------------------------------------ #
+    # Learning phase
+    # ------------------------------------------------------------------ #
+    def learning_phase(self, loader: MiniBatchLoader, seed: int = 0) -> EmbeddingPlacement:
+        """Sample mini-batches, populate the EAL, and build the placement."""
+        sampled = loader.sample_batches(self.sample_fraction, seed=seed)
+        for batch in sampled:
+            self.accelerator.learn_from_batch(batch.sparse)
+        num_tables = self.model.config.num_sparse_features
+        hot_sets = self.accelerator.hot_sets(num_tables)
+        self.placement = EmbeddingPlacement(
+            hot_sets=hot_sets,
+            rows_per_table=self.model.config.dataset.rows_per_table,
+            embedding_dim=self.model.config.embedding_dim,
+            dtype_bytes=self.model.config.dtype_bytes,
+            hbm_budget_bytes=self.hbm_budget_bytes,
+        )
+        return self.placement
+
+    def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> EmbeddingPlacement:
+        """Re-enter the learning phase to follow evolving access skews."""
+        self.accelerator.recalibrate()
+        return self.learning_phase(loader, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Acceleration phase
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: MiniBatch) -> tuple[float, MicroBatches]:
+        """One Hotline training step on a single mini-batch.
+
+        The mini-batch is fragmented into its µ-batches; both are trained
+        with gradient accumulation and a single parameter update, which
+        keeps the update identical to the baseline's (Eq. 5).
+        """
+        if self.placement is None:
+            raise RuntimeError("learning_phase must run before training")
+        micro = split_minibatch(batch, self.placement.hot_sets)
+        self.model.zero_grad()
+        total_loss = 0.0
+        partial_sparse: list[list[SparseGradient]] = [
+            [] for _ in range(self.model.config.num_sparse_features)
+        ]
+        for micro_batch in (micro.popular, micro.non_popular):
+            if micro_batch.size == 0:
+                continue
+            # Normalising by the *full* mini-batch size keeps the accumulated
+            # update identical to the baseline's single-step update (Eq. 5).
+            loss, sparse_grads = self.model.loss_and_gradients(
+                micro_batch, normalizer=batch.size
+            )
+            total_loss += loss
+            for table, grad in enumerate(sparse_grads):
+                partial_sparse[table].append(grad)
+        merged = [merge_sparse_gradients(grads) for grads in partial_sparse]
+        self.model.apply_dense_update(self.lr)
+        self.model.apply_sparse_updates(merged, self.lr)
+        return total_loss, micro
+
+    def train(
+        self,
+        loader: MiniBatchLoader,
+        *,
+        epochs: int = 1,
+        eval_batch: MiniBatch | None = None,
+        eval_every: int = 0,
+        recalibrations_per_epoch: int = 0,
+    ) -> TrainingResult:
+        """Train for ``epochs`` epochs with the Hotline schedule."""
+        if self.placement is None:
+            self.learning_phase(loader)
+        result = TrainingResult()
+        iteration = 0
+        for _epoch in range(epochs):
+            steps_per_epoch = len(loader)
+            recal_points = set()
+            if recalibrations_per_epoch > 0 and steps_per_epoch > recalibrations_per_epoch:
+                stride = steps_per_epoch // (recalibrations_per_epoch + 1)
+                recal_points = {stride * (i + 1) for i in range(recalibrations_per_epoch)}
+            for step_in_epoch, batch in enumerate(loader):
+                if step_in_epoch in recal_points:
+                    self.recalibrate(loader, seed=iteration)
+                loss, micro = self.train_step(batch)
+                result.losses.append(loss)
+                result.popular_fractions.append(micro.popular_fraction)
+                if self.perf_model is not None:
+                    result.simulated_time_s += self.perf_model.step_time(batch.size)
+                iteration += 1
+                if eval_batch is not None and eval_every and iteration % eval_every == 0:
+                    result.auc_history.append((iteration, evaluate(self.model, eval_batch)["auc"]))
+        if eval_batch is not None:
+            result.final_metrics = evaluate(self.model, eval_batch)
+            result.auc_history.append((iteration, result.final_metrics["auc"]))
+        return result

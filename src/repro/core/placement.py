@@ -1,0 +1,116 @@
+"""Access-aware embedding layout across GPU HBM and CPU DRAM.
+
+Hotline's first key insight (Section I): frequently-accessed embeddings have
+a small footprint (~512 MB covers >=75 % of inputs) and are replicated on
+every GPU's HBM, while the long tail stays in CPU main memory.  Because the
+two sets are disjoint and each row has exactly one home, updates never need
+coherence traffic (unlike FAE, which synchronises embeddings between CPU and
+GPU at every popular/non-popular transition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EmbeddingPlacement:
+    """Placement of every embedding row: GPU-replicated hot set vs CPU tail.
+
+    Attributes:
+        hot_sets: Per-table arrays of row ids replicated on every GPU.
+        rows_per_table: Table sizes (for footprint accounting).
+        embedding_dim: Row width.
+        dtype_bytes: Bytes per element.
+        hbm_budget_bytes: Per-GPU budget for the hot replica (paper: 512 MB).
+    """
+
+    hot_sets: list[np.ndarray]
+    rows_per_table: tuple[int, ...]
+    embedding_dim: int
+    dtype_bytes: int = 4
+    hbm_budget_bytes: float = 512 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if len(self.hot_sets) != len(self.rows_per_table):
+            raise ValueError("hot_sets must have one entry per table")
+        for table, (hot, rows) in enumerate(zip(self.hot_sets, self.rows_per_table)):
+            if hot.size and (hot.min() < 0 or hot.max() >= rows):
+                raise ValueError(f"hot set of table {table} references out-of-range rows")
+
+    @property
+    def num_tables(self) -> int:
+        """Number of embedding tables."""
+        return len(self.rows_per_table)
+
+    @property
+    def hot_rows_total(self) -> int:
+        """Total number of GPU-resident (hot) rows across tables."""
+        return int(sum(hot.size for hot in self.hot_sets))
+
+    @property
+    def cold_rows_total(self) -> int:
+        """Total number of CPU-resident (cold) rows across tables."""
+        return int(sum(self.rows_per_table)) - self.hot_rows_total
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per embedding row."""
+        return self.embedding_dim * self.dtype_bytes
+
+    @property
+    def gpu_bytes(self) -> float:
+        """HBM footprint of the hot replica on each GPU."""
+        return float(self.hot_rows_total) * self.row_bytes
+
+    @property
+    def cpu_bytes(self) -> float:
+        """CPU DRAM footprint of the cold rows."""
+        return float(self.cold_rows_total) * self.row_bytes
+
+    def fits_budget(self) -> bool:
+        """Whether the hot replica respects the per-GPU HBM budget."""
+        return self.gpu_bytes <= self.hbm_budget_bytes
+
+    def is_hot(self, table: int, row: int) -> bool:
+        """Whether a row lives in the GPU replica."""
+        hot = self.hot_sets[table]
+        return bool(hot.size) and bool(np.isin(row, hot).item())
+
+    def split_rows(self, table: int, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split looked-up ``rows`` of one table into (hot, cold) subsets."""
+        hot = self.hot_sets[table]
+        if hot.size == 0:
+            return rows[:0], rows
+        mask = np.isin(rows, hot)
+        return rows[mask], rows[~mask]
+
+    def truncate_to_budget(self, access_counts: list[np.ndarray]) -> "EmbeddingPlacement":
+        """Return a placement whose hot replica fits the HBM budget.
+
+        If the tracked hot set exceeds the budget, keep the most-accessed
+        rows first (requires per-table access counts, e.g. from the EAL's
+        learning phase or an offline histogram).
+        """
+        max_rows = int(self.hbm_budget_bytes // self.row_bytes)
+        if self.hot_rows_total <= max_rows:
+            return self
+        scored: list[tuple[float, int, int]] = []
+        for table, hot in enumerate(self.hot_sets):
+            counts = access_counts[table]
+            for row in hot:
+                scored.append((float(counts[row]), table, int(row)))
+        scored.sort(reverse=True)
+        kept: list[list[int]] = [[] for _ in self.rows_per_table]
+        for _score, table, row in scored[:max_rows]:
+            kept[table].append(row)
+        new_hot = [np.array(sorted(rows), dtype=np.int64) for rows in kept]
+        return EmbeddingPlacement(
+            hot_sets=new_hot,
+            rows_per_table=self.rows_per_table,
+            embedding_dim=self.embedding_dim,
+            dtype_bytes=self.dtype_bytes,
+            hbm_budget_bytes=self.hbm_budget_bytes,
+        )

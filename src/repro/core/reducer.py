@@ -1,0 +1,53 @@
+"""The Reducer — Section V-D of the paper.
+
+The Reducer is a simple array of arithmetic units (16 in the paper's
+configuration, Table IV) that performs the sparse-length element-wise sum:
+it pools multiple fetched embedding rows into a single per-sample vector and
+stores the result in the Embedding Vector Buffer.  Functionally this is the
+EmbeddingBag sum; the class also provides a cycle model used by the
+accelerator's timing estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Reducer:
+    """Sparse-length-sum pooling unit."""
+
+    def __init__(self, num_alus: int = 16, lanes_per_alu: int = 16):
+        if num_alus <= 0 or lanes_per_alu <= 0:
+            raise ValueError("ALU count and lane width must be positive")
+        self.num_alus = num_alus
+        self.lanes_per_alu = lanes_per_alu
+
+    def reduce(self, rows: np.ndarray) -> np.ndarray:
+        """Element-wise sum of a (num_rows, dim) stack of embedding rows."""
+        if rows.ndim != 2:
+            raise ValueError("rows must be a 2-D (num_rows, dim) array")
+        if rows.shape[0] == 0:
+            return np.zeros(rows.shape[1], dtype=rows.dtype)
+        return rows.sum(axis=0)
+
+    def reduce_batch(self, rows_per_sample: list[np.ndarray]) -> np.ndarray:
+        """Pool each sample's rows; returns a (batch, dim) matrix."""
+        if not rows_per_sample:
+            raise ValueError("at least one sample is required")
+        dim = rows_per_sample[0].shape[1] if rows_per_sample[0].ndim == 2 else rows_per_sample[0].shape[0]
+        output = np.zeros((len(rows_per_sample), dim), dtype=np.float64)
+        for i, rows in enumerate(rows_per_sample):
+            output[i] = self.reduce(np.atleast_2d(rows))
+        return output
+
+    def cycles_for(self, num_rows: int, dim: int) -> int:
+        """Accelerator cycles to pool ``num_rows`` rows of width ``dim``.
+
+        Each ALU adds ``lanes_per_alu`` elements per cycle; the ALUs work on
+        independent rows/segments in parallel.
+        """
+        if num_rows <= 0 or dim <= 0:
+            return 0
+        element_ops = num_rows * dim
+        ops_per_cycle = self.num_alus * self.lanes_per_alu
+        return -(-element_ops // ops_per_cycle)  # ceil division

@@ -1,0 +1,70 @@
+"""Mini-batch container shared by models, baselines, and the Hotline pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MiniBatch:
+    """One mini-batch of recommendation training data.
+
+    Attributes:
+        dense: Continuous features, shape (batch, num_dense).
+        sparse: Categorical lookups, shape (batch, num_tables, pooling);
+            each entry is a row index into the corresponding embedding table.
+        labels: Click labels in {0, 1}, shape (batch,).
+    """
+
+    dense: np.ndarray
+    sparse: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.dense.ndim != 2:
+            raise ValueError("dense must be 2-D (batch, num_dense)")
+        if self.sparse.ndim != 3:
+            raise ValueError("sparse must be 3-D (batch, num_tables, pooling)")
+        if self.labels.ndim != 1:
+            raise ValueError("labels must be 1-D (batch,)")
+        if not (self.dense.shape[0] == self.sparse.shape[0] == self.labels.shape[0]):
+            raise ValueError("dense, sparse, and labels must agree on batch size")
+
+    @property
+    def size(self) -> int:
+        """Number of samples in the batch."""
+        return int(self.labels.shape[0])
+
+    @property
+    def num_tables(self) -> int:
+        """Number of sparse features (embedding tables)."""
+        return int(self.sparse.shape[1])
+
+    @property
+    def pooling(self) -> int:
+        """Lookups per table per sample (1 = one-hot, >1 = multi-hot)."""
+        return int(self.sparse.shape[2])
+
+    def select(self, indices: np.ndarray) -> "MiniBatch":
+        """A new MiniBatch containing only the samples at ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return MiniBatch(
+            dense=self.dense[indices],
+            sparse=self.sparse[indices],
+            labels=self.labels[indices],
+        )
+
+    def split(self, mask: np.ndarray) -> tuple["MiniBatch", "MiniBatch"]:
+        """Split into (where mask is True, where mask is False)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.size:
+            raise ValueError("mask length must equal batch size")
+        true_idx = np.nonzero(mask)[0]
+        false_idx = np.nonzero(~mask)[0]
+        return self.select(true_idx), self.select(false_idx)
+
+    def table_indices(self, table: int) -> list[np.ndarray]:
+        """Per-sample index arrays for one table (EmbeddingBag input format)."""
+        return [self.sparse[i, table, :] for i in range(self.size)]

@@ -1,0 +1,25 @@
+"""Programmatic regeneration of the paper's evaluation figures.
+
+The benchmark harness under ``benchmarks/`` prints and asserts each figure;
+this package exposes the same computations as a library API so downstream
+users (or notebooks) can regenerate a figure's data directly::
+
+    from repro.experiments import list_experiments, run_experiment
+
+    for exp in list_experiments():
+        print(exp.id, "-", exp.title)
+    fig19 = run_experiment("fig19")     # -> dict of series/rows
+
+Only the timing-model figures are exposed here (they run in milliseconds);
+the functional experiments (AUC convergence, EAL tracking) live in the
+benchmark modules because they train real models.
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    list_experiments,
+    run_experiment,
+    run_all,
+)
+
+__all__ = ["Experiment", "list_experiments", "run_experiment", "run_all"]

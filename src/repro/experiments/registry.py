@@ -1,0 +1,241 @@
+"""Registry of timing-model experiments (the paper's performance figures).
+
+Each experiment is a named, parameter-free callable returning plain Python
+data (dicts / lists) ready for tabulation or plotting.  The heavy functional
+experiments (model training) are intentionally excluded — see the benchmark
+harness for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.breakdown import normalised_breakdown
+from repro.baselines import (
+    FAE,
+    HotlineCPU,
+    HugeCTRGPUOnly,
+    HybridCPUGPU,
+    ScratchPipeIdeal,
+    XDLParameterServer,
+)
+from repro.core import HotlineScheduler
+from repro.models import RM1, RM2, RM3, RM4, SYN_M1, SYN_M2
+from repro.perf import TrainingCostModel
+from repro.hwsim import multi_node, single_node
+
+#: The four real-world workloads in figure order.
+_WORKLOADS = [
+    ("Criteo Kaggle", RM2),
+    ("Taobao Alibaba", RM1),
+    ("Criteo Terabyte", RM3),
+    ("Avazu", RM4),
+]
+
+_BATCH_PER_GPU = 1024
+
+
+def _costs(config, gpus: int = 4, nodes: int = 1) -> TrainingCostModel:
+    cluster = single_node(gpus) if nodes == 1 else multi_node(nodes, gpus)
+    return TrainingCostModel(config, cluster=cluster)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable experiment.
+
+    Attributes:
+        id: Short identifier (e.g. ``"fig19"``).
+        title: Human-readable description.
+        run: Zero-argument callable producing the experiment's data.
+    """
+
+    id: str
+    title: str
+    run: Callable[[], dict]
+
+
+# --------------------------------------------------------------------------- #
+# Individual experiments
+# --------------------------------------------------------------------------- #
+def _fig3_hybrid_breakdown() -> dict:
+    return {
+        label: normalised_breakdown(
+            HybridCPUGPU(_costs(config)).step_timeline(4 * _BATCH_PER_GPU)
+        )
+        for label, config in _WORKLOADS
+    }
+
+
+def _fig4_gpu_only_breakdown() -> dict:
+    result = {}
+    for label, config in _WORKLOADS:
+        mode = HugeCTRGPUOnly(_costs(config))
+        if mode.is_feasible():
+            result[label] = normalised_breakdown(mode.step_timeline(4 * _BATCH_PER_GPU))
+    return result
+
+
+def _fig5_multinode_breakdown() -> dict:
+    result = {}
+    for label, config in [("Criteo Kaggle", RM2), ("Criteo Terabyte", RM3)]:
+        for nodes in (1, 2, 4):
+            mode = HugeCTRGPUOnly(_costs(config, nodes=nodes))
+            if mode.is_feasible():
+                batch = 4 * nodes * _BATCH_PER_GPU
+                result[f"{label} / {nodes} node(s)"] = normalised_breakdown(
+                    mode.step_timeline(batch)
+                )
+    return result
+
+
+def _fig19_speedups() -> dict:
+    result = {}
+    for label, config in _WORKLOADS:
+        for gpus in (1, 2, 4):
+            costs = _costs(config, gpus=gpus)
+            batch = gpus * _BATCH_PER_GPU
+            hotline = HotlineScheduler(costs)
+            result[f"{label} / {gpus} GPU"] = {
+                "over_xdl": hotline.speedup_over(XDLParameterServer(costs), batch),
+                "over_dlrm": hotline.speedup_over(HybridCPUGPU(costs), batch),
+                "over_fae": hotline.speedup_over(FAE(costs), batch),
+            }
+    return result
+
+
+def _fig21_throughput() -> dict:
+    result = {}
+    for label, config in _WORKLOADS:
+        costs = _costs(config)
+        result[label] = {
+            "hotline_epochs_per_hour": HotlineScheduler(costs).epochs_per_hour(4096),
+            "dlrm_epochs_per_hour": HybridCPUGPU(costs).epochs_per_hour(4096),
+        }
+    return result
+
+
+def _fig22_hugectr() -> dict:
+    result = {}
+    for label, config in [("Criteo Kaggle", RM2), ("Criteo Terabyte", RM3)]:
+        for gpus in (1, 2, 4):
+            costs = _costs(config, gpus=gpus)
+            batch = gpus * _BATCH_PER_GPU
+            hugectr = HugeCTRGPUOnly(costs)
+            key = f"{label} / {gpus} GPU"
+            if hugectr.is_feasible():
+                result[key] = HotlineScheduler(costs).speedup_over(hugectr, batch)
+            else:
+                result[key] = "OOM"
+    return result
+
+
+def _fig23_hotline_cpu() -> dict:
+    return {
+        f"{label} / {gpus} GPU": HotlineScheduler(_costs(config, gpus=gpus)).speedup_over(
+            HotlineCPU(_costs(config, gpus=gpus)), gpus * _BATCH_PER_GPU
+        )
+        for label, config in _WORKLOADS
+        for gpus in (1, 2, 4)
+    }
+
+
+def _fig24_scratchpipe() -> dict:
+    return {
+        f"{label} / {gpus} GPU": HotlineScheduler(_costs(config, gpus=gpus)).speedup_over(
+            ScratchPipeIdeal(_costs(config, gpus=gpus)), gpus * _BATCH_PER_GPU
+        )
+        for label, config in _WORKLOADS
+        for gpus in (1, 2, 4)
+    }
+
+
+def _fig25_ratio_sweep() -> dict:
+    scheduler = HotlineScheduler(_costs(RM3))
+    result = {}
+    for ratio in (0.2, 0.3, 0.4, 0.6, 0.8, 0.9):
+        plan = scheduler.plan_step(4096, hot_fraction=ratio)
+        result[ratio] = {
+            "popular_exec_ms": plan.popular_exec_time * 1e3,
+            "gather_ms": plan.gather_time * 1e3,
+            "exposed_ms": plan.exposed_gather_time * 1e3,
+            "hidden": plan.gather_hidden,
+        }
+    return result
+
+
+def _fig26_batch_sweep() -> dict:
+    result = {}
+    for label, config in _WORKLOADS:
+        costs = _costs(config)
+        hotline = HotlineScheduler(costs)
+        hybrid = HybridCPUGPU(costs)
+        result[label] = {
+            batch: hotline.speedup_over(hybrid, batch)
+            for batch in (1024, 2048, 4096, 8192, 16384)
+        }
+    return result
+
+
+def _fig28_synthetic_models() -> dict:
+    result = {}
+    for config in (SYN_M1, SYN_M2):
+        costs = _costs(config)
+        result[config.name] = {
+            "speedup_over_dlrm": HotlineScheduler(costs).speedup_over(
+                HybridCPUGPU(costs), 4096
+            ),
+            "embedding_gb": config.embedding_gigabytes,
+        }
+    return result
+
+
+def _fig30_multinode() -> dict:
+    result = {}
+    for config in (SYN_M1, SYN_M2):
+        for nodes in (1, 2, 4):
+            costs = _costs(config, nodes=nodes)
+            batch = 4 * nodes * _BATCH_PER_GPU
+            hugectr = HugeCTRGPUOnly(costs)
+            key = f"{config.name} / {nodes} node(s)"
+            if hugectr.is_feasible():
+                result[key] = HotlineScheduler(costs).speedup_over(hugectr, batch)
+            else:
+                result[key] = "OOM"
+    return result
+
+
+_EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment("fig3", "Hybrid CPU-GPU training-time breakdown", _fig3_hybrid_breakdown),
+    Experiment("fig4", "Single-node GPU-only training-time breakdown", _fig4_gpu_only_breakdown),
+    Experiment("fig5", "Multi-node GPU-only training-time breakdown", _fig5_multinode_breakdown),
+    Experiment("fig19", "Hotline speedup over XDL / Intel DLRM / FAE", _fig19_speedups),
+    Experiment("fig21", "Training throughput (epochs/hour) at 4 GPUs", _fig21_throughput),
+    Experiment("fig22", "Hotline vs HugeCTR (GPU-only), incl. OOM boundaries", _fig22_hugectr),
+    Experiment("fig23", "Hotline accelerator vs CPU-driven Hotline", _fig23_hotline_cpu),
+    Experiment("fig24", "Hotline vs ScratchPipe-Ideal", _fig24_scratchpipe),
+    Experiment("fig25", "Popular:non-popular µ-batch ratio sweep", _fig25_ratio_sweep),
+    Experiment("fig26", "Speedup vs mini-batch size", _fig26_batch_sweep),
+    Experiment("fig28", "Large multi-hot synthetic models", _fig28_synthetic_models),
+    Experiment("fig30", "Multi-node scaling on synthetic models", _fig30_multinode),
+)
+
+
+def list_experiments() -> tuple[Experiment, ...]:
+    """All registered experiments in figure order."""
+    return _EXPERIMENTS
+
+
+def run_experiment(experiment_id: str) -> dict:
+    """Run one experiment by id (e.g. ``"fig19"``) and return its data."""
+    for experiment in _EXPERIMENTS:
+        if experiment.id == experiment_id:
+            return experiment.run()
+    known = ", ".join(exp.id for exp in _EXPERIMENTS)
+    raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def run_all() -> dict[str, dict]:
+    """Run every registered experiment; returns {id: data}."""
+    return {experiment.id: experiment.run() for experiment in _EXPERIMENTS}

@@ -1,0 +1,95 @@
+"""Cluster topology: nodes of CPU + GPUs, connected by InfiniBand.
+
+Reproduces the paper's system (Section IV / VI-D): each node is a Dell EMC
+C4140-class server with one Xeon CPU, four V100 GPUs on NVLink, one Hotline
+accelerator on a spare low-profile PCIe slot, and a 100 Gbit/s InfiniBand
+NIC for inter-node traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hwsim.device import CPUSpec, GPUSpec, TESLA_V100, XEON_SILVER_4116
+from repro.hwsim.interconnect import (
+    INFINIBAND_100G,
+    Link,
+    NVLINK2,
+    PCIE_GEN3_X16,
+)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One server: a CPU, ``num_gpus`` GPUs, and intra-node links.
+
+    Attributes:
+        cpu: CPU specification.
+        gpu: GPU specification (all GPUs in a node are identical).
+        num_gpus: Number of GPUs installed.
+        gpu_link: GPU-to-GPU link (NVLink).
+        pcie: CPU-to-GPU / accelerator link.
+        has_accelerator: Whether a Hotline accelerator occupies a PCIe slot.
+    """
+
+    cpu: CPUSpec = XEON_SILVER_4116
+    gpu: GPUSpec = TESLA_V100
+    num_gpus: int = 4
+    gpu_link: Link = NVLINK2
+    pcie: Link = PCIE_GEN3_X16
+    has_accelerator: bool = True
+
+    @property
+    def total_hbm_bytes(self) -> float:
+        """Aggregate HBM capacity across the node's GPUs."""
+        return self.num_gpus * self.gpu.memory_capacity_bytes
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """CPU DRAM capacity of the node."""
+        return self.cpu.memory_capacity_bytes
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A collection of identical nodes connected by an inter-node link."""
+
+    node: Node = field(default_factory=Node)
+    num_nodes: int = 1
+    inter_link: Link = INFINIBAND_100G
+
+    @property
+    def total_gpus(self) -> int:
+        """Total number of GPUs in the cluster."""
+        return self.num_nodes * self.node.num_gpus
+
+    @property
+    def total_hbm_bytes(self) -> float:
+        """Aggregate HBM capacity of the cluster."""
+        return self.num_nodes * self.node.total_hbm_bytes
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """Aggregate CPU DRAM capacity of the cluster."""
+        return self.num_nodes * self.node.total_dram_bytes
+
+    def fits_in_hbm(self, num_bytes: float) -> bool:
+        """Whether a model of ``num_bytes`` fits in aggregate HBM."""
+        return num_bytes <= self.total_hbm_bytes
+
+    def fits_in_dram(self, num_bytes: float) -> bool:
+        """Whether a model of ``num_bytes`` fits in aggregate CPU DRAM."""
+        return num_bytes <= self.total_dram_bytes
+
+
+def single_node(num_gpus: int = 4, *, has_accelerator: bool = True) -> Cluster:
+    """Build the paper's single-node testbed with ``num_gpus`` V100s."""
+    return Cluster(node=Node(num_gpus=num_gpus, has_accelerator=has_accelerator), num_nodes=1)
+
+
+def multi_node(num_nodes: int, gpus_per_node: int = 4, *, has_accelerator: bool = True) -> Cluster:
+    """Build the paper's multi-node testbed (4 GPUs/node, InfiniBand)."""
+    return Cluster(
+        node=Node(num_gpus=gpus_per_node, has_accelerator=has_accelerator),
+        num_nodes=num_nodes,
+    )

@@ -1,0 +1,80 @@
+"""Cost models for collective communication (all-reduce, all-to-all, ...).
+
+The hybrid and GPU-only baselines rely heavily on collectives:
+
+* data-parallel dense layers synchronise gradients with an **all-reduce**
+  (ring algorithm over NVLink within a node, over InfiniBand across nodes);
+* model-parallel embeddings in the GPU-only mode exchange looked-up rows
+  with an **all-to-all** every iteration (Figure 1b), which the paper shows
+  grows to >50 % of multi-node training time (Figure 5).
+
+Hotline eliminates the embedding all-to-all entirely.
+"""
+
+from __future__ import annotations
+
+from repro.hwsim.interconnect import Link
+
+
+def allreduce_time(num_bytes: float, participants: int, link: Link) -> float:
+    """Ring all-reduce time for ``num_bytes`` across ``participants`` devices.
+
+    Uses the standard 2*(p-1)/p bandwidth term plus 2*(p-1) latency hops.
+    """
+    if participants <= 1 or num_bytes <= 0:
+        return 0.0
+    p = participants
+    bandwidth_term = 2.0 * (p - 1) / p * num_bytes / link.bandwidth
+    latency_term = 2.0 * (p - 1) * link.latency_s
+    return bandwidth_term + latency_term
+
+
+def alltoall_time(num_bytes_per_device: float, participants: int, link: Link) -> float:
+    """All-to-all exchange where every device sends ``num_bytes_per_device``.
+
+    Each device sends (p-1)/p of its payload to peers; with p-1 concurrent
+    flows per device the bottleneck is each device's injection bandwidth.
+    """
+    if participants <= 1 or num_bytes_per_device <= 0:
+        return 0.0
+    p = participants
+    bandwidth_term = (p - 1) / p * num_bytes_per_device / link.bandwidth
+    latency_term = (p - 1) * link.latency_s
+    return bandwidth_term + latency_term
+
+
+def broadcast_time(num_bytes: float, participants: int, link: Link) -> float:
+    """Tree broadcast of ``num_bytes`` from one device to all others."""
+    if participants <= 1 or num_bytes <= 0:
+        return 0.0
+    import math
+
+    hops = max(1, math.ceil(math.log2(participants)))
+    return hops * (link.latency_s + num_bytes / link.bandwidth)
+
+
+def gather_time(num_bytes_per_device: float, participants: int, link: Link) -> float:
+    """Gather of ``num_bytes_per_device`` from each device onto one root."""
+    if participants <= 1 or num_bytes_per_device <= 0:
+        return 0.0
+    total = num_bytes_per_device * (participants - 1)
+    return link.latency_s * (participants - 1) + total / link.bandwidth
+
+
+def hierarchical_allreduce_time(
+    num_bytes: float,
+    gpus_per_node: int,
+    nodes: int,
+    intra_link: Link,
+    inter_link: Link,
+) -> float:
+    """Two-level all-reduce: intra-node ring, then inter-node ring, then bcast.
+
+    This matches how NCCL executes multi-node all-reduce on NVLink +
+    InfiniBand systems and is what drives the Fig. 5 breakdown shape.
+    """
+    if num_bytes <= 0:
+        return 0.0
+    intra = allreduce_time(num_bytes, gpus_per_node, intra_link)
+    inter = allreduce_time(num_bytes, nodes, inter_link)
+    return intra + inter

@@ -1,0 +1,66 @@
+"""DMA engine model.
+
+The Hotline accelerator sits on a low-profile PCIe slot and uses the host's
+DMA engine (through the PCIe switch) to read not-frequently-accessed
+embedding rows from CPU DRAM and push the reduced vectors to the GPUs
+(Figure 10 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hwsim.interconnect import Link, PCIE_GEN3_X16
+from repro.hwsim.memory import MemorySpec, DDR4_SERVER
+
+
+@dataclass
+class DMAEngine:
+    """Models DMA transfers between CPU DRAM and a PCIe-attached device.
+
+    A DMA read of embedding rows pays the DRAM gather cost (the rows are
+    scattered) plus the PCIe transfer cost; the two stages are pipelined so
+    the total is the max of the two plus one latency term.
+
+    Attributes:
+        link: The PCIe link used by the device.
+        dram: The host DRAM the engine reads from / writes to.
+        setup_latency_s: Fixed descriptor-setup cost per DMA request batch.
+    """
+
+    link: Link = PCIE_GEN3_X16
+    dram: MemorySpec = DDR4_SERVER
+    setup_latency_s: float = 2e-6
+    bytes_read: float = field(default=0.0, init=False)
+    bytes_written: float = field(default=0.0, init=False)
+    requests: int = field(default=0, init=False)
+
+    def read_time(self, num_bytes: float, *, scattered: bool = True) -> float:
+        """Time to DMA ``num_bytes`` from host DRAM to the device."""
+        if num_bytes <= 0:
+            return 0.0
+        self.bytes_read += num_bytes
+        self.requests += 1
+        dram_time = (
+            self.dram.gather_time(num_bytes) if scattered else self.dram.stream_time(num_bytes)
+        )
+        pcie_time = self.link.transfer_time(num_bytes)
+        return self.setup_latency_s + max(dram_time, pcie_time)
+
+    def write_time(self, num_bytes: float, *, scattered: bool = True) -> float:
+        """Time to DMA ``num_bytes`` from the device back to host DRAM."""
+        if num_bytes <= 0:
+            return 0.0
+        self.bytes_written += num_bytes
+        self.requests += 1
+        dram_time = (
+            self.dram.gather_time(num_bytes) if scattered else self.dram.stream_time(num_bytes)
+        )
+        pcie_time = self.link.transfer_time(num_bytes)
+        return self.setup_latency_s + max(dram_time, pcie_time)
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters."""
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.requests = 0

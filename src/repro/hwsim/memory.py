@@ -1,0 +1,75 @@
+"""Memory-technology timing models (DDR4, HBM2, eDRAM, SRAM).
+
+Each technology is described by a sustained sequential bandwidth, an
+achievable random-access bandwidth (gathers of small rows), and an access
+latency.  The numbers follow Table III of the paper (76.8 GB/s DDR4,
+900 GB/s HBM2) and typical published figures for on-chip eDRAM/SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwsim.units import GB, NS
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Timing model for one memory technology.
+
+    Attributes:
+        name: Technology name.
+        stream_bandwidth: Sequential bandwidth in bytes/second.
+        gather_bandwidth: Achievable bandwidth for random row gathers.
+        access_latency_s: Latency of a single access.
+    """
+
+    name: str
+    stream_bandwidth: float
+    gather_bandwidth: float
+    access_latency_s: float
+
+    def stream_time(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` sequentially."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.access_latency_s + num_bytes / self.stream_bandwidth
+
+    def gather_time(self, num_bytes: float) -> float:
+        """Time to gather ``num_bytes`` of scattered small rows."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.access_latency_s + num_bytes / self.gather_bandwidth
+
+    def random_access_time(self, bytes_per_access: int) -> float:
+        """Amortised time of one random access of ``bytes_per_access``."""
+        return max(self.access_latency_s / 16.0, bytes_per_access / self.gather_bandwidth)
+
+
+DDR4_SERVER = MemorySpec(
+    name="DDR4-2400 (6 channels)",
+    stream_bandwidth=76.8 * GB,
+    gather_bandwidth=18.0 * GB,
+    access_latency_s=90 * NS,
+)
+
+HBM2 = MemorySpec(
+    name="HBM2",
+    stream_bandwidth=900 * GB,
+    gather_bandwidth=400 * GB,
+    access_latency_s=120 * NS,
+)
+
+EDRAM = MemorySpec(
+    name="on-accelerator eDRAM",
+    stream_bandwidth=100 * GB,
+    gather_bandwidth=50 * GB,
+    access_latency_s=3 * NS,
+)
+
+SRAM_ON_CHIP = MemorySpec(
+    name="on-accelerator SRAM",
+    stream_bandwidth=400 * GB,
+    gather_bandwidth=200 * GB,
+    access_latency_s=1 * NS,
+)

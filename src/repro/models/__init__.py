@@ -1,0 +1,35 @@
+"""Recommendation models: DLRM and TBSM, plus the paper's model zoo.
+
+The four evaluated models (RM1-RM4, Table II) and the two synthetic
+large-scale models (SYN-M1, SYN-M2, Figure 28) are described by
+:class:`~repro.models.configs.ModelConfig` objects; :class:`DLRM` and
+:class:`TBSM` instantiate trainable numpy versions of any configuration.
+"""
+
+from repro.models.configs import (
+    ModelConfig,
+    RM1,
+    RM2,
+    RM3,
+    RM4,
+    SYN_M1,
+    SYN_M2,
+    PAPER_MODELS,
+    model_by_name,
+)
+from repro.models.dlrm import DLRM
+from repro.models.tbsm import TBSM
+
+__all__ = [
+    "ModelConfig",
+    "RM1",
+    "RM2",
+    "RM3",
+    "RM4",
+    "SYN_M1",
+    "SYN_M2",
+    "PAPER_MODELS",
+    "model_by_name",
+    "DLRM",
+    "TBSM",
+]

@@ -1,0 +1,177 @@
+"""Deep Learning Recommendation Model (DLRM) in numpy.
+
+Follows the reference architecture (Figure 2 of the paper): a bottom MLP
+over the dense features, one EmbeddingBag per sparse feature, a pairwise
+dot-product feature interaction, and a top MLP producing the CTR logit.
+
+The model exposes a two-phase API (``forward`` / ``backward`` +
+``apply_updates``) rather than a single fused ``train_step`` so that the
+Hotline pipeline and the baselines can schedule the *same* numerical
+computation in different orders — which is exactly the paper's claim that
+µ-batch fragmentation does not change the model update (Eq. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batch import MiniBatch
+from repro.models.configs import ModelConfig
+from repro.nn.embedding import EmbeddingBag, SparseGradient
+from repro.nn.interaction import (
+    dot_interaction,
+    dot_interaction_backward,
+    interaction_output_dim,
+)
+from repro.nn.loss import bce_with_logits, bce_with_logits_backward, predicted_probabilities
+from repro.nn.mlp import MLP
+
+
+class DLRM:
+    """Trainable DLRM instance for a given :class:`ModelConfig`."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0):
+        self.config = config
+        rng = np.random.default_rng(seed)
+        bottom_sizes = [int(tok) for tok in config.bottom_mlp.split("-")]
+        if bottom_sizes[0] != config.num_dense_features:
+            raise ValueError(
+                f"bottom MLP input size {bottom_sizes[0]} does not match "
+                f"{config.num_dense_features} dense features"
+            )
+        if bottom_sizes[-1] != config.embedding_dim:
+            raise ValueError(
+                "bottom MLP output size must equal the embedding dimension "
+                f"({bottom_sizes[-1]} != {config.embedding_dim})"
+            )
+        self.bottom_mlp = MLP(bottom_sizes, rng)
+        self.tables: list[EmbeddingBag] = [
+            EmbeddingBag(rows, config.embedding_dim, rng, name=f"table_{i}")
+            for i, rows in enumerate(config.dataset.rows_per_table)
+        ]
+        top_hidden = [int(tok) for tok in config.top_mlp.split("-")]
+        top_input = interaction_output_dim(config.embedding_dim, config.num_sparse_features)
+        self.top_mlp = MLP([top_input] + top_hidden, rng)
+        self._interaction_cache: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, batch: MiniBatch) -> np.ndarray:
+        """Compute CTR logits for a mini-batch, shape (batch,)."""
+        if batch.num_tables != len(self.tables):
+            raise ValueError(
+                f"batch has {batch.num_tables} sparse features, model expects {len(self.tables)}"
+            )
+        dense_out = self.bottom_mlp.forward(batch.dense)
+        sparse_out = [
+            table.forward(batch.table_indices(t)) for t, table in enumerate(self.tables)
+        ]
+        interaction, cache = dot_interaction(dense_out, sparse_out)
+        self._interaction_cache = cache
+        logits = self.top_mlp.forward(interaction)
+        return logits.reshape(-1)
+
+    def backward(self, grad_logits: np.ndarray) -> list[SparseGradient]:
+        """Backpropagate logit gradients; returns per-table sparse gradients.
+
+        Dense-parameter gradients accumulate inside the MLP layers (so that
+        gradients from several µ-batches sum, as in the baseline).
+        """
+        if self._interaction_cache is None:
+            raise RuntimeError("backward called before forward")
+        grad_interaction = self.top_mlp.backward(grad_logits.reshape(-1, 1))
+        grad_dense, grad_sparse = dot_interaction_backward(
+            grad_interaction, self._interaction_cache
+        )
+        self.bottom_mlp.backward(grad_dense)
+        return [table.backward(grad_sparse[t]) for t, table in enumerate(self.tables)]
+
+    def zero_grad(self) -> None:
+        """Reset accumulated dense gradients."""
+        self.bottom_mlp.zero_grad()
+        self.top_mlp.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Training helpers
+    # ------------------------------------------------------------------ #
+    def loss_and_gradients(
+        self, batch: MiniBatch, normalizer: float | None = None
+    ) -> tuple[float, list[SparseGradient]]:
+        """Forward + backward with a sum-reduced BCE loss (Eq. 2).
+
+        Dense gradients are accumulated in the layers; the caller applies
+        them with :meth:`apply_dense_update`.
+
+        Args:
+            batch: The (µ-)batch to train on.
+            normalizer: Divisor applied to the gradients (typically the full
+                mini-batch size, so per-sample gradients average over the
+                mini-batch).  With ``None`` the raw summed gradients are
+                returned.  Using the *full* mini-batch size for every
+                µ-batch keeps Hotline's accumulated update identical to the
+                baseline's (Eq. 5).
+        """
+        logits = self.forward(batch)
+        loss = bce_with_logits(logits, batch.labels, reduction="sum")
+        grad_logits = bce_with_logits_backward(logits, batch.labels, reduction="sum")
+        if normalizer is not None:
+            if normalizer <= 0:
+                raise ValueError("normalizer must be positive")
+            grad_logits = grad_logits / normalizer
+        sparse_grads = self.backward(grad_logits)
+        return loss, sparse_grads
+
+    def predict(self, batch: MiniBatch) -> np.ndarray:
+        """Predicted click probabilities for a batch."""
+        return predicted_probabilities(self.forward(batch))
+
+    def dense_parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs of both MLPs."""
+        return self.bottom_mlp.parameters() + self.top_mlp.parameters()
+
+    def apply_dense_update(self, lr: float) -> None:
+        """SGD update of the MLP parameters using accumulated gradients."""
+        for param, grad in self.dense_parameters():
+            param -= lr * grad
+
+    def apply_sparse_updates(self, grads: list[SparseGradient], lr: float) -> None:
+        """SGD update of every embedding table from its sparse gradient."""
+        if len(grads) != len(self.tables):
+            raise ValueError("one sparse gradient per table is required")
+        for table, grad in zip(self.tables, grads):
+            table.apply_sparse_update(grad, lr)
+
+    def train_step(self, batch: MiniBatch, lr: float = 0.01) -> float:
+        """One baseline training step: forward, backward, update, in order.
+
+        Gradients are normalised by the mini-batch size (mean-reduced), the
+        conventional DLRM training setup.
+        """
+        self.zero_grad()
+        loss, sparse_grads = self.loss_and_gradients(batch, normalizer=batch.size)
+        self.apply_dense_update(lr)
+        self.apply_sparse_updates(sparse_grads, lr)
+        return loss
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_dense_parameters(self) -> int:
+        """Scalar parameter count of the MLPs."""
+        return self.bottom_mlp.num_parameters + self.top_mlp.num_parameters
+
+    @property
+    def num_sparse_parameters(self) -> int:
+        """Scalar parameter count of the embedding tables."""
+        return sum(table.num_parameters for table in self.tables)
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """Deep copy of every parameter (used by equivalence tests)."""
+        state: dict[str, np.ndarray] = {}
+        for i, (param, _grad) in enumerate(self.dense_parameters()):
+            state[f"dense_{i}"] = param.copy()
+        for i, table in enumerate(self.tables):
+            state[f"table_{i}"] = table.weight.copy()
+        return state

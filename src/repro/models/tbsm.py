@@ -1,0 +1,181 @@
+"""Time-Based Sequence Model (TBSM) in numpy.
+
+TBSM (the paper's RM1, trained on Taobao Alibaba) augments a DLRM-style
+block with an attention layer over a history of item embeddings.  Our
+implementation treats the lookups of the first sparse feature (the item
+table) as the user's interaction history: each lookup becomes one step of
+the sequence, a dot-product attention attends the dense context vector over
+that sequence, and the top MLP combines the attention context with the
+pooled embeddings of the remaining features.
+
+This preserves the structural properties the paper relies on — an
+attention layer on top of embedding lookups, a small dense network, and
+Zipf-skewed item accesses — while remaining trainable in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batch import MiniBatch
+from repro.models.configs import ModelConfig
+from repro.nn.attention import DotProductAttention
+from repro.nn.embedding import EmbeddingBag, SparseGradient
+from repro.nn.loss import bce_with_logits, bce_with_logits_backward, predicted_probabilities
+from repro.nn.mlp import MLP
+
+
+class TBSM:
+    """Trainable TBSM instance for a given :class:`ModelConfig`."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0):
+        if not config.uses_attention:
+            raise ValueError("TBSM requires a configuration with uses_attention=True")
+        self.config = config
+        rng = np.random.default_rng(seed)
+        bottom_sizes = [int(tok) for tok in config.bottom_mlp.split("-")]
+        if bottom_sizes[0] != config.num_dense_features:
+            raise ValueError("bottom MLP input size must match the dense feature count")
+        if bottom_sizes[-1] != config.embedding_dim:
+            raise ValueError("bottom MLP output size must equal the embedding dimension")
+        self.bottom_mlp = MLP(bottom_sizes, rng)
+        self.tables: list[EmbeddingBag] = [
+            EmbeddingBag(rows, config.embedding_dim, rng, name=f"table_{i}")
+            for i, rows in enumerate(config.dataset.rows_per_table)
+        ]
+        self.attention = DotProductAttention()
+        # Top MLP input: attention context + bottom output + pooled embeddings
+        # of the non-history tables.
+        top_hidden = [int(tok) for tok in config.top_mlp.split("-")]
+        top_input = config.embedding_dim * (1 + 1 + (config.num_sparse_features - 1))
+        self.top_mlp = MLP([top_input] + top_hidden, rng)
+        self._cache: dict | None = None
+
+    def forward(self, batch: MiniBatch) -> np.ndarray:
+        """Compute CTR logits, shape (batch,)."""
+        if batch.num_tables != len(self.tables):
+            raise ValueError("batch sparse-feature count does not match the model")
+        dense_out = self.bottom_mlp.forward(batch.dense)
+
+        # History sequence: one embedding vector per lookup of table 0.
+        history_table = self.tables[0]
+        history_indices = batch.sparse[:, 0, :]  # (batch, steps)
+        steps = history_indices.shape[1]
+        sequence = history_table.weight[history_indices]  # (batch, steps, dim)
+        context = self.attention.forward(dense_out, sequence)
+
+        other_outputs = [
+            table.forward(batch.table_indices(t))
+            for t, table in enumerate(self.tables)
+            if t != 0
+        ]
+        features = np.concatenate([context, dense_out] + other_outputs, axis=1)
+        logits = self.top_mlp.forward(features)
+        self._cache = {
+            "history_indices": history_indices,
+            "steps": steps,
+            "batch_size": batch.size,
+        }
+        return logits.reshape(-1)
+
+    def backward(self, grad_logits: np.ndarray) -> list[SparseGradient]:
+        """Backpropagate logit gradients; returns per-table sparse gradients."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        dim = self.config.embedding_dim
+        grad_features = self.top_mlp.backward(grad_logits.reshape(-1, 1))
+        grad_context = grad_features[:, :dim]
+        grad_dense_direct = grad_features[:, dim : 2 * dim]
+        grad_other = grad_features[:, 2 * dim :]
+
+        grad_query, grad_sequence = self.attention.backward(grad_context)
+        self.bottom_mlp.backward(grad_query + grad_dense_direct)
+
+        # History-table sparse gradient: each step's gradient flows to the
+        # row looked up at that step.
+        history_indices = self._cache["history_indices"]
+        flat_indices = history_indices.reshape(-1)
+        flat_grads = grad_sequence.reshape(-1, dim)
+        unique, inverse = np.unique(flat_indices, return_inverse=True)
+        values = np.zeros((unique.shape[0], dim), dtype=flat_grads.dtype)
+        np.add.at(values, inverse, flat_grads)
+        sparse_grads: list[SparseGradient] = [SparseGradient(unique, values)]
+
+        offset = 0
+        for t, table in enumerate(self.tables):
+            if t == 0:
+                continue
+            grad_slice = grad_other[:, offset : offset + dim]
+            sparse_grads.append(table.backward(grad_slice))
+            offset += dim
+        return sparse_grads
+
+    def zero_grad(self) -> None:
+        """Reset accumulated dense gradients."""
+        self.bottom_mlp.zero_grad()
+        self.top_mlp.zero_grad()
+
+    def loss_and_gradients(
+        self, batch: MiniBatch, normalizer: float | None = None
+    ) -> tuple[float, list[SparseGradient]]:
+        """Forward + backward with a sum-reduced BCE loss.
+
+        ``normalizer`` divides the gradients (typically the full mini-batch
+        size); see :meth:`repro.models.dlrm.DLRM.loss_and_gradients`.
+        """
+        logits = self.forward(batch)
+        loss = bce_with_logits(logits, batch.labels, reduction="sum")
+        grad_logits = bce_with_logits_backward(logits, batch.labels, reduction="sum")
+        if normalizer is not None:
+            if normalizer <= 0:
+                raise ValueError("normalizer must be positive")
+            grad_logits = grad_logits / normalizer
+        sparse_grads = self.backward(grad_logits)
+        return loss, sparse_grads
+
+    def predict(self, batch: MiniBatch) -> np.ndarray:
+        """Predicted click probabilities for a batch."""
+        return predicted_probabilities(self.forward(batch))
+
+    def dense_parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs of both MLPs."""
+        return self.bottom_mlp.parameters() + self.top_mlp.parameters()
+
+    def apply_dense_update(self, lr: float) -> None:
+        """SGD update of the MLP parameters using accumulated gradients."""
+        for param, grad in self.dense_parameters():
+            param -= lr * grad
+
+    def apply_sparse_updates(self, grads: list[SparseGradient], lr: float) -> None:
+        """SGD update of every embedding table from its sparse gradient."""
+        if len(grads) != len(self.tables):
+            raise ValueError("one sparse gradient per table is required")
+        for table, grad in zip(self.tables, grads):
+            table.apply_sparse_update(grad, lr)
+
+    def train_step(self, batch: MiniBatch, lr: float = 0.01) -> float:
+        """One baseline training step with mini-batch-mean gradients."""
+        self.zero_grad()
+        loss, sparse_grads = self.loss_and_gradients(batch, normalizer=batch.size)
+        self.apply_dense_update(lr)
+        self.apply_sparse_updates(sparse_grads, lr)
+        return loss
+
+    @property
+    def num_dense_parameters(self) -> int:
+        """Scalar parameter count of the MLPs."""
+        return self.bottom_mlp.num_parameters + self.top_mlp.num_parameters
+
+    @property
+    def num_sparse_parameters(self) -> int:
+        """Scalar parameter count of the embedding tables."""
+        return sum(table.num_parameters for table in self.tables)
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """Deep copy of every parameter (used by equivalence tests)."""
+        state: dict[str, np.ndarray] = {}
+        for i, (param, _grad) in enumerate(self.dense_parameters()):
+            state[f"dense_{i}"] = param.copy()
+        for i, table in enumerate(self.tables):
+            state[f"table_{i}"] = table.weight.copy()
+        return state

@@ -1,0 +1,41 @@
+"""Pure-numpy neural-network substrate for recommendation-model training.
+
+The paper trains DLRM and TBSM with PyTorch-1.9; this package provides an
+equivalent from-scratch implementation (forward + manual backward) so that
+the functional claims — identical losses, gradients, and accuracy between the
+baseline schedule and the Hotline µ-batch schedule — can be verified exactly
+without a GPU framework.
+"""
+
+from repro.nn.layers import Layer, Linear, ReLU, Sigmoid
+from repro.nn.mlp import MLP
+from repro.nn.embedding import EmbeddingBag, SparseGradient
+from repro.nn.interaction import dot_interaction, dot_interaction_backward
+from repro.nn.attention import DotProductAttention
+from repro.nn.loss import bce_with_logits, bce_with_logits_backward
+from repro.nn.optim import SGD, Adagrad, SparseSGD, SparseAdagrad
+from repro.nn.metrics import roc_auc, binary_accuracy, log_loss
+from repro.nn import init
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "MLP",
+    "EmbeddingBag",
+    "SparseGradient",
+    "dot_interaction",
+    "dot_interaction_backward",
+    "DotProductAttention",
+    "bce_with_logits",
+    "bce_with_logits_backward",
+    "SGD",
+    "Adagrad",
+    "SparseSGD",
+    "SparseAdagrad",
+    "roc_auc",
+    "binary_accuracy",
+    "log_loss",
+    "init",
+]

@@ -1,0 +1,137 @@
+"""Embedding tables with bag (sum-pooling) lookups and sparse gradients.
+
+Each sparse categorical feature of a recommendation model has one
+EmbeddingBag.  A lookup takes, for every sample in the batch, a (possibly
+multi-hot) list of row indices and returns the pooled (summed) embedding
+vector.  The backward pass produces a *sparse* gradient — one row of
+gradient per unique accessed index — mirroring how DLRM updates embeddings
+and how Hotline updates rows in place on either the CPU or the GPU copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import init
+
+
+@dataclass
+class SparseGradient:
+    """Sparse gradient for one embedding table.
+
+    Attributes:
+        indices: Unique row indices that received gradient, shape (k,).
+        values: Gradient rows aligned with ``indices``, shape (k, dim).
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indices.shape[0] != self.values.shape[0]:
+            raise ValueError("indices and values must have the same leading dimension")
+
+    @property
+    def nnz(self) -> int:
+        """Number of rows carrying gradient."""
+        return int(self.indices.shape[0])
+
+    def restricted_to(self, allowed: np.ndarray) -> "SparseGradient":
+        """Gradient restricted to rows contained in ``allowed``."""
+        mask = np.isin(self.indices, allowed)
+        return SparseGradient(self.indices[mask], self.values[mask])
+
+
+def merge_sparse_gradients(grads: list[SparseGradient]) -> SparseGradient:
+    """Sum several sparse gradients for the same table into one.
+
+    Rows appearing in more than one gradient have their values added, which
+    is exactly what happens when a mini-batch's gradient is accumulated from
+    the gradients of its µ-batches (Eq. 5 of the paper).
+    """
+    non_empty = [grad for grad in grads if grad.nnz]
+    if not non_empty:
+        dim = grads[0].values.shape[1] if grads else 0
+        return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, dim)))
+    all_indices = np.concatenate([grad.indices for grad in non_empty])
+    all_values = np.concatenate([grad.values for grad in non_empty], axis=0)
+    unique, inverse = np.unique(all_indices, return_inverse=True)
+    merged = np.zeros((unique.shape[0], all_values.shape[1]), dtype=all_values.dtype)
+    np.add.at(merged, inverse, all_values)
+    return SparseGradient(unique, merged)
+
+
+class EmbeddingBag:
+    """One embedding table with sum pooling over multi-hot lookups."""
+
+    def __init__(self, num_rows: int, dim: int, rng: np.random.Generator, name: str = ""):
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError("embedding table must have positive rows and dim")
+        self.num_rows = num_rows
+        self.dim = dim
+        self.name = name or f"emb_{num_rows}x{dim}"
+        self.weight = init.embedding_uniform(num_rows, dim, rng)
+        self._last_indices: list[np.ndarray] | None = None
+
+    def forward(self, indices_per_sample: list[np.ndarray]) -> np.ndarray:
+        """Sum-pool the rows selected by each sample.
+
+        Args:
+            indices_per_sample: One integer array of row indices per sample.
+
+        Returns:
+            Array of shape (batch, dim) with the pooled embeddings.
+        """
+        batch = len(indices_per_sample)
+        out = np.zeros((batch, self.dim), dtype=self.weight.dtype)
+        for i, idx in enumerate(indices_per_sample):
+            if len(idx) == 0:
+                continue
+            out[i] = self.weight[idx].sum(axis=0)
+        self._last_indices = [np.asarray(idx, dtype=np.int64) for idx in indices_per_sample]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> SparseGradient:
+        """Compute the sparse gradient for the last forward pass.
+
+        With sum pooling, every row accessed by sample ``i`` receives
+        ``grad_output[i]``; gradients of rows accessed by several samples
+        accumulate.
+        """
+        if self._last_indices is None:
+            raise RuntimeError("backward called before forward")
+        if grad_output.shape[0] != len(self._last_indices):
+            raise ValueError("grad_output batch size does not match the last forward batch")
+        all_indices: list[np.ndarray] = []
+        all_grads: list[np.ndarray] = []
+        for i, idx in enumerate(self._last_indices):
+            if len(idx) == 0:
+                continue
+            all_indices.append(idx)
+            all_grads.append(np.repeat(grad_output[i : i + 1], len(idx), axis=0))
+        if not all_indices:
+            return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, self.dim)))
+        flat_indices = np.concatenate(all_indices)
+        flat_grads = np.concatenate(all_grads, axis=0)
+        unique, inverse = np.unique(flat_indices, return_inverse=True)
+        values = np.zeros((unique.shape[0], self.dim), dtype=grad_output.dtype)
+        np.add.at(values, inverse, flat_grads)
+        return SparseGradient(unique, values)
+
+    def apply_sparse_update(self, grad: SparseGradient, lr: float) -> None:
+        """SGD update of only the rows present in ``grad``."""
+        if grad.nnz == 0:
+            return
+        self.weight[grad.indices] -= lr * grad.values
+
+    def rows_bytes(self, num_rows: int | None = None, dtype_bytes: int = 4) -> float:
+        """Memory footprint of ``num_rows`` rows (default: the whole table)."""
+        rows = self.num_rows if num_rows is None else num_rows
+        return float(rows) * self.dim * dtype_bytes
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of scalar parameters in the table."""
+        return self.num_rows * self.dim

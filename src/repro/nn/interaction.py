@@ -1,0 +1,75 @@
+"""DLRM dot-product feature interaction.
+
+The interaction layer takes the bottom-MLP output and the pooled embedding
+vectors (all of the same dimension), computes every pairwise dot product,
+and concatenates the flattened lower triangle with the bottom-MLP output.
+This is the ``dot`` interaction of the DLRM reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dot_interaction(dense: np.ndarray, sparse: list[np.ndarray]) -> tuple[np.ndarray, dict]:
+    """Pairwise dot-product interaction.
+
+    Args:
+        dense: Bottom-MLP output of shape (batch, dim).
+        sparse: List of pooled embedding outputs, each (batch, dim).
+
+    Returns:
+        A tuple of the interaction output of shape
+        (batch, dim + n_pairs) and a cache used by the backward pass.
+    """
+    features = [dense] + list(sparse)
+    stacked = np.stack(features, axis=1)  # (batch, f, dim)
+    gram = np.einsum("bfd,bgd->bfg", stacked, stacked)  # (batch, f, f)
+    num_features = stacked.shape[1]
+    rows, cols = np.tril_indices(num_features, k=-1)
+    interactions = gram[:, rows, cols]  # (batch, n_pairs)
+    output = np.concatenate([dense, interactions], axis=1)
+    cache = {"stacked": stacked, "rows": rows, "cols": cols, "dense_dim": dense.shape[1]}
+    return output, cache
+
+
+def dot_interaction_backward(
+    grad_output: np.ndarray, cache: dict
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Backward pass of :func:`dot_interaction`.
+
+    Args:
+        grad_output: Gradient w.r.t. the interaction output,
+            shape (batch, dim + n_pairs).
+        cache: Cache returned by the forward pass.
+
+    Returns:
+        Gradient w.r.t. the dense input and a list of gradients w.r.t. each
+        sparse input.
+    """
+    stacked: np.ndarray = cache["stacked"]
+    rows: np.ndarray = cache["rows"]
+    cols: np.ndarray = cache["cols"]
+    dense_dim: int = cache["dense_dim"]
+    batch, num_features, _ = stacked.shape
+
+    grad_dense_direct = grad_output[:, :dense_dim]
+    grad_pairs = grad_output[:, dense_dim:]  # (batch, n_pairs)
+
+    grad_gram = np.zeros((batch, num_features, num_features), dtype=grad_output.dtype)
+    grad_gram[:, rows, cols] = grad_pairs
+    # The gram matrix is symmetric in its construction: d(x_f . x_g) affects
+    # both x_f and x_g, which is captured by symmetrising the gradient.
+    grad_gram = grad_gram + grad_gram.transpose(0, 2, 1)
+    grad_stacked = np.einsum("bfg,bgd->bfd", grad_gram, stacked)
+
+    grad_dense = grad_dense_direct + grad_stacked[:, 0, :]
+    grad_sparse = [grad_stacked[:, i, :] for i in range(1, num_features)]
+    return grad_dense, grad_sparse
+
+
+def interaction_output_dim(dense_dim: int, num_sparse: int) -> int:
+    """Dimension of the interaction output for the top MLP's input size."""
+    num_features = num_sparse + 1
+    num_pairs = num_features * (num_features - 1) // 2
+    return dense_dim + num_pairs

@@ -1,0 +1,64 @@
+"""Binary cross-entropy loss (the CTR objective, Eq. 1-2 of the paper).
+
+Implemented on logits for numerical stability.  The loss is a *sum* over the
+mini-batch by default, matching Equation 2 of the paper: this is what makes
+the Hotline µ-batch decomposition exactly loss-preserving
+(L_popular + L_non_popular == L_baseline, Eq. 5).  A mean reduction is also
+offered for conventional training loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _stable_sigmoid(logits: np.ndarray) -> np.ndarray:
+    out = np.empty_like(logits, dtype=np.float64)
+    positive = logits >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-logits[positive]))
+    exp_x = np.exp(logits[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def bce_with_logits(
+    logits: np.ndarray, targets: np.ndarray, reduction: str = "sum"
+) -> float:
+    """Binary cross-entropy of ``logits`` against 0/1 ``targets``.
+
+    Uses the log-sum-exp form ``max(z,0) - z*y + log(1+exp(-|z|))`` which is
+    stable for large-magnitude logits.
+    """
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    if logits.shape != targets.shape:
+        raise ValueError("logits and targets must have the same shape")
+    per_sample = (
+        np.maximum(logits, 0.0) - logits * targets + np.log1p(np.exp(-np.abs(logits)))
+    )
+    if reduction == "sum":
+        return float(per_sample.sum())
+    if reduction == "mean":
+        return float(per_sample.mean())
+    if reduction == "none":
+        return per_sample  # type: ignore[return-value]
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def bce_with_logits_backward(
+    logits: np.ndarray, targets: np.ndarray, reduction: str = "sum"
+) -> np.ndarray:
+    """Gradient of :func:`bce_with_logits` with respect to the logits."""
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    grad = _stable_sigmoid(logits) - targets
+    if reduction == "mean":
+        grad = grad / logits.shape[0]
+    elif reduction not in ("sum", "none"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    return grad
+
+
+def predicted_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Convert logits to click probabilities."""
+    return _stable_sigmoid(np.asarray(logits, dtype=np.float64).reshape(-1))

@@ -1,0 +1,59 @@
+"""Evaluation metrics: ROC AUC, binary accuracy, and log loss.
+
+These are the metrics reported by the paper's Table V and Figure 18 (AUC is
+the MLPerf-recommended metric for Criteo-style CTR tasks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def roc_auc(targets: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney U) formula.
+
+    Ties in the scores receive the average rank, matching the behaviour of
+    scikit-learn's ``roc_auc_score``.
+    """
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if targets.shape != scores.shape:
+        raise ValueError("targets and scores must have the same shape")
+    positives = targets > 0.5
+    num_pos = int(positives.sum())
+    num_neg = int(targets.shape[0] - num_pos)
+    if num_pos == 0 or num_neg == 0:
+        raise ValueError("AUC is undefined when only one class is present")
+
+    order = np.argsort(scores, kind="mergesort")
+    sorted_scores = scores[order]
+    ranks = np.empty_like(sorted_scores)
+    i = 0
+    n = sorted_scores.shape[0]
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[i : j + 1] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_of = np.empty(n, dtype=np.float64)
+    rank_of[order] = ranks
+    rank_sum_pos = rank_of[positives].sum()
+    auc = (rank_sum_pos - num_pos * (num_pos + 1) / 2.0) / (num_pos * num_neg)
+    return float(auc)
+
+
+def binary_accuracy(targets: np.ndarray, scores: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of predictions on the correct side of ``threshold``."""
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    predictions = (scores >= threshold).astype(np.float64)
+    return float((predictions == targets).mean())
+
+
+def log_loss(targets: np.ndarray, probabilities: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean binary cross-entropy of predicted probabilities."""
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    probabilities = np.clip(np.asarray(probabilities, dtype=np.float64).reshape(-1), eps, 1 - eps)
+    losses = -(targets * np.log(probabilities) + (1 - targets) * np.log(1 - probabilities))
+    return float(losses.mean())

@@ -1,0 +1,84 @@
+"""Multi-layer perceptron built from Linear + ReLU layers.
+
+DLRM and TBSM describe their dense networks as layer-size strings such as
+``"13-512-256-64-16"`` (bottom MLP) and ``"512-256-1"`` (top MLP).  The MLP
+here accepts the equivalent list of sizes and mirrors the reference
+behaviour: ReLU between hidden layers and an optional sigmoid on the final
+layer (the top MLP's CTR output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU, Sigmoid
+
+
+class MLP:
+    """A stack of fully-connected layers with ReLU activations."""
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        rng: np.random.Generator,
+        *,
+        sigmoid_output: bool = False,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("an MLP needs at least an input and an output size")
+        self.layer_sizes = list(layer_sizes)
+        self.layers: list = []
+        for i, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:])):
+            self.layers.append(Linear(fan_in, fan_out, rng))
+            is_last = i == len(layer_sizes) - 2
+            if not is_last:
+                self.layers.append(ReLU())
+            elif sigmoid_output:
+                self.layers.append(Sigmoid())
+
+    @classmethod
+    def from_arch_string(
+        cls, arch: str, rng: np.random.Generator, *, sigmoid_output: bool = False
+    ) -> "MLP":
+        """Build an MLP from a DLRM-style ``"13-512-256-64"`` string."""
+        sizes = [int(token) for token in arch.split("-")]
+        return cls(sizes, rng, sigmoid_output=sigmoid_output)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the input through every layer."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through the stack, returning the input gradient."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        """Reset gradients in all layers."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs for all layers."""
+        params: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(layer.num_parameters for layer in self.layers)
+
+    @property
+    def flops_per_sample(self) -> float:
+        """Multiply-accumulate FLOPs for one forward pass of one sample."""
+        flops = 0.0
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            flops += 2.0 * fan_in * fan_out
+        return flops

@@ -1,0 +1,14 @@
+"""Performance modelling of training execution schedules.
+
+:mod:`repro.perf.costs` provides the per-phase cost primitives (MLP compute,
+embedding gathers on CPU/GPU, PCIe transfers, collectives, optimiser
+updates, CPU-based segregation) that the Hotline scheduler
+(:mod:`repro.core.scheduler`) and every baseline (:mod:`repro.baselines`)
+compose into iteration timelines.  Keeping the primitives in one place
+guarantees that all execution modes are compared on the same hardware
+assumptions — only the *schedule* differs, exactly as in the paper.
+"""
+
+from repro.perf.costs import SoftwareOverheads, TrainingCostModel
+
+__all__ = ["SoftwareOverheads", "TrainingCostModel"]

@@ -1,0 +1,85 @@
+"""Unit tests for the Data Dispatcher (address registers, eDRAM, requests)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatcher import AddressRegisters, DataDispatcher, InputEDRAM
+from repro.core.isa import Opcode
+
+
+def make_registers(num_tables=3, row_bytes=64):
+    registers = AddressRegisters()
+    for table in range(num_tables):
+        registers.register_table(table, cpu_address=table * 1_000_000, gpu_address=table * 500_000)
+    return registers
+
+
+def test_address_registers_compute_row_addresses():
+    registers = make_registers()
+    assert registers.cpu_address(1, 10, 64) == 1_000_000 + 640
+    assert registers.gpu_address(2, 3, 64) == 1_000_000 + 192
+    assert registers.num_tables == 3
+
+
+def test_address_registers_reject_negative_table():
+    with pytest.raises(ValueError):
+        AddressRegisters().register_table(-1, 0, 0)
+
+
+def test_edram_capacity_matches_paper_claim():
+    """2.5 MB of eDRAM holds mini-batches of up to 16 K inputs (26 lookups)."""
+    edram = InputEDRAM()
+    assert edram.max_inputs(lookups_per_input=26) >= 16_384
+
+
+def test_edram_fits_check():
+    edram = InputEDRAM(size_bytes=1000)
+    assert edram.fits(num_inputs=10, lookups_per_input=2)
+    assert not edram.fits(num_inputs=1000, lookups_per_input=26)
+
+
+def test_build_requests_split_hot_and_cold():
+    registers = make_registers(num_tables=2)
+    dispatcher = DataDispatcher(registers, row_bytes=64)
+    sparse = np.array([[[1], [5]], [[2], [5]]])
+    hot_sets = [np.array([1]), np.array([], dtype=np.int64)]
+    requests = dispatcher.build_requests(sparse, hot_sets)
+    gpu_reads = [r for r in requests if r.opcode == Opcode.GPU_READ]
+    dma_reads = [r for r in requests if r.opcode == Opcode.DMA_READ]
+    # Row 1 of table 0 is hot; rows 2 (table 0) and 5 (table 1) are cold.
+    assert len(gpu_reads) == 1
+    assert len(dma_reads) == 2
+
+
+def test_build_requests_deduplicates_rows():
+    registers = make_registers(num_tables=1)
+    dispatcher = DataDispatcher(registers, row_bytes=64)
+    sparse = np.array([[[7]], [[7]], [[7]]])
+    requests = dispatcher.build_requests(sparse, [np.empty(0, dtype=np.int64)])
+    assert len(requests) == 1
+
+
+def test_build_requests_requires_hot_set_per_table():
+    dispatcher = DataDispatcher(make_registers(num_tables=2))
+    with pytest.raises(ValueError):
+        dispatcher.build_requests(np.zeros((1, 2, 1), dtype=np.int64), [np.array([0])])
+
+
+def test_build_requests_rejects_oversized_microbatch():
+    dispatcher = DataDispatcher(make_registers(num_tables=1), InputEDRAM(size_bytes=64))
+    sparse = np.zeros((100, 1, 1), dtype=np.int64)
+    with pytest.raises(ValueError):
+        dispatcher.build_requests(sparse, [np.empty(0, dtype=np.int64)])
+
+
+def test_traffic_summary():
+    registers = make_registers(num_tables=2)
+    dispatcher = DataDispatcher(registers, row_bytes=64)
+    sparse = np.array([[[1], [5]], [[2], [6]]])
+    hot_sets = [np.array([1, 2]), np.empty(0, dtype=np.int64)]
+    requests = dispatcher.build_requests(sparse, hot_sets)
+    summary = dispatcher.traffic_summary(requests)
+    assert summary["gpu_requests"] == 2
+    assert summary["cpu_requests"] == 2
+    assert summary["cpu_bytes"] == 2 * 64
+    assert summary["gpu_bytes"] == 2 * 64

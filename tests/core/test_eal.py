@@ -1,0 +1,156 @@
+"""Unit tests for the Embedding Access Logger (SRRIP tracker)."""
+
+import numpy as np
+import pytest
+
+from repro.core.eal import (
+    EALConfig,
+    EmbeddingAccessLogger,
+    OracleLFUTracker,
+    expected_parallel_requests,
+    simulate_parallel_requests,
+)
+
+
+def small_eal(entries=256, ways=8, seed=0):
+    config = EALConfig(size_bytes=entries * 2, ways=ways)
+    return EmbeddingAccessLogger(config, seed=seed)
+
+
+def test_config_entry_count_matches_paper():
+    """4 MB at ~2 bytes/entry gives ~2 million trackable indices."""
+    config = EALConfig()
+    assert config.num_entries == pytest.approx(2_000_000, rel=0.05)
+    assert config.num_sets * config.ways == config.num_entries
+
+
+def test_first_access_is_a_miss_then_hit():
+    eal = small_eal()
+    assert eal.access(0, 42) is False
+    assert eal.access(0, 42) is True
+    assert eal.contains(0, 42)
+    assert eal.hits == 1
+    assert eal.misses == 1
+
+
+def test_distinct_tables_do_not_collide_logically():
+    eal = small_eal()
+    eal.access(0, 7)
+    assert eal.contains(0, 7)
+    assert not eal.contains(1, 7)
+
+
+def test_hot_indices_grouped_per_table():
+    eal = small_eal()
+    eal.access(0, 1)
+    eal.access(1, 2)
+    eal.access(1, 3)
+    hot = eal.hot_indices(num_tables=2)
+    assert hot[0].tolist() == [1]
+    assert hot[1].tolist() == [2, 3]
+
+
+def test_access_batch_counts_hits():
+    eal = small_eal()
+    sparse = np.array([[[1], [2]], [[1], [2]]])  # two samples, two tables
+    hits = eal.access_batch(sparse)
+    assert hits == 2  # second sample hits both entries inserted by the first
+
+
+def test_srrip_keeps_frequent_entries_under_pressure():
+    """Frequently re-accessed indices survive eviction pressure from a long
+    tail of one-off accesses — the property Figure 15 relies on."""
+    eal = small_eal(entries=64, ways=8, seed=1)
+    rng = np.random.default_rng(0)
+    hot_rows = np.arange(8)
+    for step in range(3000):
+        eal.access(0, int(hot_rows[step % len(hot_rows)]))
+        if step % 2 == 0:
+            eal.access(0, int(rng.integers(1000, 100_000)))
+    tracked_hot = sum(eal.contains(0, int(row)) for row in hot_rows)
+    assert tracked_hot >= 6
+
+
+def test_evictions_occur_when_capacity_exceeded():
+    eal = small_eal(entries=32, ways=4)
+    for i in range(1000):
+        eal.access(0, i)
+    assert eal.evictions > 0
+    assert eal.occupancy == 1.0
+
+
+def test_clear_resets_everything():
+    eal = small_eal()
+    eal.access(0, 5)
+    eal.clear()
+    assert not eal.contains(0, 5)
+    assert eal.occupancy == 0.0
+    assert eal.hits == 0 and eal.misses == 0
+
+
+def test_reset_statistics_keeps_tracked_set():
+    eal = small_eal()
+    eal.access(0, 5)
+    eal.reset_statistics()
+    assert eal.contains(0, 5)
+    assert eal.misses == 0
+
+
+def test_hit_rate():
+    eal = small_eal()
+    assert eal.hit_rate == 0.0
+    eal.access(0, 1)
+    eal.access(0, 1)
+    assert eal.hit_rate == pytest.approx(0.5)
+
+
+def test_oracle_tracker_top_k():
+    oracle = OracleLFUTracker(capacity_entries=2)
+    for _ in range(10):
+        oracle.access(0, 1)
+    for _ in range(5):
+        oracle.access(0, 2)
+    oracle.access(0, 3)
+    hot = oracle.hot_indices(num_tables=1)
+    assert set(hot[0].tolist()) == {1, 2}
+    assert oracle.contains(0, 1)
+    assert not oracle.contains(0, 3)
+
+
+def test_oracle_batch_access():
+    oracle = OracleLFUTracker(capacity_entries=4)
+    sparse = np.array([[[1], [2]], [[1], [3]]])
+    oracle.access_batch(sparse)
+    hot = oracle.hot_indices(num_tables=2)
+    assert 1 in hot[0].tolist()
+
+
+def test_oracle_invalid_capacity():
+    with pytest.raises(ValueError):
+        OracleLFUTracker(0)
+
+
+def test_expected_parallel_requests_monotone_in_queue():
+    """Figure 16: more queue entries allow more parallel requests."""
+    small = expected_parallel_requests(queue_size=8, num_banks=64)
+    large = expected_parallel_requests(queue_size=512, num_banks=64)
+    assert large > small
+    assert large <= 64
+
+
+def test_expected_parallel_requests_paper_design_point():
+    """A 512-entry queue with 64 banks sustains ~60 requests/iteration."""
+    assert expected_parallel_requests(512, 64) > 55
+
+
+def test_simulated_parallel_requests_close_to_expectation():
+    simulated = simulate_parallel_requests(256, 32, trials=50, seed=0)
+    expected = expected_parallel_requests(256, 32)
+    assert simulated == pytest.approx(expected, rel=0.15)
+
+
+def test_parallel_requests_invalid_arguments():
+    with pytest.raises(ValueError):
+        expected_parallel_requests(0, 64)
+    with pytest.raises(ValueError):
+        simulate_parallel_requests(8, 8, trials=0)

@@ -1,0 +1,57 @@
+"""Tests for the programmatic experiment registry."""
+
+import pytest
+
+from repro.experiments import Experiment, list_experiments, run_experiment
+
+
+def test_registry_lists_all_performance_figures():
+    ids = [experiment.id for experiment in list_experiments()]
+    assert ids == sorted(ids, key=ids.index)  # stable order
+    for expected in ("fig3", "fig5", "fig19", "fig22", "fig25", "fig26", "fig30"):
+        assert expected in ids
+    assert all(isinstance(e, Experiment) and e.title for e in list_experiments())
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_fig19_structure_and_claims():
+    data = run_experiment("fig19")
+    assert "Criteo Terabyte / 4 GPU" in data
+    entry = data["Criteo Terabyte / 4 GPU"]
+    assert entry["over_xdl"] > entry["over_dlrm"] > entry["over_fae"] > 1.0
+
+
+def test_fig22_contains_oom_markers():
+    data = run_experiment("fig22")
+    assert data["Criteo Terabyte / 1 GPU"] == "OOM"
+    assert isinstance(data["Criteo Terabyte / 4 GPU"], float)
+
+
+def test_fig25_gather_hidden_at_default_ratio():
+    data = run_experiment("fig25")
+    assert data[0.8]["hidden"] is True
+    assert data[0.2]["exposed_ms"] >= data[0.8]["exposed_ms"]
+
+
+def test_fig26_speedups_grow_with_batch():
+    data = run_experiment("fig26")
+    for label, sweep in data.items():
+        batches = sorted(sweep)
+        assert sweep[batches[-1]] > sweep[batches[1]], label
+
+
+def test_fig30_oom_pattern():
+    data = run_experiment("fig30")
+    assert data["SYN-M2 / 4 node(s)"] == "OOM"
+    assert isinstance(data["SYN-M1 / 4 node(s)"], float)
+
+
+def test_breakdowns_sum_to_one():
+    for fig in ("fig3", "fig4", "fig5"):
+        data = run_experiment(fig)
+        for label, breakdown in data.items():
+            assert sum(breakdown.values()) == pytest.approx(1.0), (fig, label)

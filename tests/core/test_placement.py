@@ -1,0 +1,81 @@
+"""Unit tests for the access-aware embedding placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import EmbeddingPlacement
+
+
+def make_placement(hot0=(0, 1, 2), hot1=(4,), budget=1 << 20):
+    return EmbeddingPlacement(
+        hot_sets=[np.array(hot0, dtype=np.int64), np.array(hot1, dtype=np.int64)],
+        rows_per_table=(100, 50),
+        embedding_dim=8,
+        dtype_bytes=4,
+        hbm_budget_bytes=budget,
+    )
+
+
+def test_row_accounting():
+    placement = make_placement()
+    assert placement.hot_rows_total == 4
+    assert placement.cold_rows_total == 146
+    assert placement.row_bytes == 32
+    assert placement.gpu_bytes == 4 * 32
+    assert placement.cpu_bytes == 146 * 32
+
+
+def test_hot_and_cold_queries():
+    placement = make_placement()
+    assert placement.is_hot(0, 1)
+    assert not placement.is_hot(0, 50)
+    hot, cold = placement.split_rows(0, np.array([0, 1, 7]))
+    assert hot.tolist() == [0, 1]
+    assert cold.tolist() == [7]
+
+
+def test_split_rows_with_empty_hot_set():
+    placement = EmbeddingPlacement(
+        hot_sets=[np.empty(0, dtype=np.int64)],
+        rows_per_table=(10,),
+        embedding_dim=4,
+    )
+    hot, cold = placement.split_rows(0, np.array([1, 2]))
+    assert hot.size == 0
+    assert cold.tolist() == [1, 2]
+
+
+def test_budget_check():
+    assert make_placement(budget=1 << 20).fits_budget()
+    assert not make_placement(budget=64).fits_budget()
+
+
+def test_out_of_range_hot_rows_rejected():
+    with pytest.raises(ValueError):
+        EmbeddingPlacement(
+            hot_sets=[np.array([1000])], rows_per_table=(10,), embedding_dim=4
+        )
+
+
+def test_mismatched_table_count_rejected():
+    with pytest.raises(ValueError):
+        EmbeddingPlacement(hot_sets=[], rows_per_table=(10,), embedding_dim=4)
+
+
+def test_truncate_to_budget_keeps_most_accessed_rows():
+    placement = make_placement(hot0=(0, 1, 2, 3), hot1=(0, 1), budget=4 * 32)
+    counts = [np.zeros(100), np.zeros(50)]
+    counts[0][[0, 1, 2, 3]] = [100, 90, 5, 1]
+    counts[1][[0, 1]] = [80, 2]
+    truncated = placement.truncate_to_budget(counts)
+    assert truncated.hot_rows_total == 4
+    assert truncated.fits_budget()
+    assert 0 in truncated.hot_sets[0] and 1 in truncated.hot_sets[0]
+    assert 0 in truncated.hot_sets[1]
+    assert 3 not in truncated.hot_sets[0]
+
+
+def test_truncate_noop_when_within_budget():
+    placement = make_placement()
+    counts = [np.ones(100), np.ones(50)]
+    assert placement.truncate_to_budget(counts) is placement

@@ -1,0 +1,50 @@
+"""Unit tests for the Reducer (sparse-length-sum unit)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reducer import Reducer
+
+
+def test_reduce_sums_rows():
+    reducer = Reducer()
+    rows = np.arange(12, dtype=float).reshape(3, 4)
+    np.testing.assert_allclose(reducer.reduce(rows), rows.sum(axis=0))
+
+
+def test_reduce_empty_stack_is_zero():
+    reducer = Reducer()
+    out = reducer.reduce(np.empty((0, 4)))
+    np.testing.assert_allclose(out, np.zeros(4))
+
+
+def test_reduce_rejects_non_2d():
+    with pytest.raises(ValueError):
+        Reducer().reduce(np.zeros(4))
+
+
+def test_reduce_batch_matches_embeddingbag_pooling():
+    reducer = Reducer()
+    per_sample = [np.ones((3, 4)), np.full((1, 4), 2.0)]
+    out = reducer.reduce_batch(per_sample)
+    np.testing.assert_allclose(out[0], 3.0 * np.ones(4))
+    np.testing.assert_allclose(out[1], 2.0 * np.ones(4))
+
+
+def test_reduce_batch_requires_samples():
+    with pytest.raises(ValueError):
+        Reducer().reduce_batch([])
+
+
+def test_cycle_model_scales_with_work():
+    reducer = Reducer(num_alus=16, lanes_per_alu=16)
+    assert reducer.cycles_for(0, 64) == 0
+    one_row = reducer.cycles_for(1, 64)
+    many_rows = reducer.cycles_for(100, 64)
+    assert many_rows > one_row
+    assert reducer.cycles_for(4, 64) == 1  # 256 element-ops fit one cycle
+
+
+def test_invalid_configuration():
+    with pytest.raises(ValueError):
+        Reducer(num_alus=0)

@@ -1,0 +1,62 @@
+"""Unit tests for the MiniBatch container."""
+
+import numpy as np
+import pytest
+
+from repro.data.batch import MiniBatch
+
+
+def make_batch(n=8, tables=3, pooling=2, dense=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return MiniBatch(
+        dense=rng.normal(size=(n, dense)),
+        sparse=rng.integers(0, 10, size=(n, tables, pooling)),
+        labels=(rng.uniform(size=n) < 0.5).astype(float),
+    )
+
+
+def test_properties():
+    batch = make_batch(n=8, tables=3, pooling=2)
+    assert batch.size == 8
+    assert batch.num_tables == 3
+    assert batch.pooling == 2
+
+
+def test_shape_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        MiniBatch(rng.normal(size=(4,)), rng.integers(0, 5, size=(4, 2, 1)), np.zeros(4))
+    with pytest.raises(ValueError):
+        MiniBatch(rng.normal(size=(4, 2)), rng.integers(0, 5, size=(4, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        MiniBatch(rng.normal(size=(4, 2)), rng.integers(0, 5, size=(3, 2, 1)), np.zeros(4))
+
+
+def test_select_preserves_alignment():
+    batch = make_batch()
+    subset = batch.select(np.array([1, 3]))
+    assert subset.size == 2
+    np.testing.assert_allclose(subset.dense[0], batch.dense[1])
+    np.testing.assert_allclose(subset.labels[1], batch.labels[3])
+
+
+def test_split_partitions_batch():
+    batch = make_batch(n=10)
+    mask = np.arange(10) % 2 == 0
+    popular, non_popular = batch.split(mask)
+    assert popular.size == 5
+    assert non_popular.size == 5
+    assert popular.size + non_popular.size == batch.size
+
+
+def test_split_wrong_mask_length_raises():
+    batch = make_batch(n=4)
+    with pytest.raises(ValueError):
+        batch.split(np.array([True, False]))
+
+
+def test_table_indices_format():
+    batch = make_batch(n=3, tables=2, pooling=2)
+    per_sample = batch.table_indices(1)
+    assert len(per_sample) == 3
+    np.testing.assert_array_equal(per_sample[0], batch.sparse[0, 1, :])

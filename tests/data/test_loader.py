@@ -1,0 +1,64 @@
+"""Unit tests for the mini-batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import MiniBatchLoader
+from repro.data.synthetic import generate_click_log
+from tests.conftest import TINY_DATASET
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_click_log(TINY_DATASET, 1000, seed=0)
+
+
+def test_len_with_drop_last(log):
+    loader = MiniBatchLoader(log, batch_size=256, drop_last=True)
+    assert len(loader) == 3
+
+
+def test_len_without_drop_last(log):
+    loader = MiniBatchLoader(log, batch_size=256, drop_last=False)
+    assert len(loader) == 4
+
+
+def test_iteration_yields_full_batches(log):
+    loader = MiniBatchLoader(log, batch_size=128)
+    batches = list(loader)
+    assert len(batches) == len(loader)
+    assert all(batch.size == 128 for batch in batches)
+
+
+def test_no_shuffle_is_sequential(log):
+    loader = MiniBatchLoader(log, batch_size=100, shuffle=False)
+    first = next(iter(loader))
+    np.testing.assert_allclose(first.dense, log.dense[:100])
+
+
+def test_shuffle_changes_order_but_not_content(log):
+    loader = MiniBatchLoader(log, batch_size=500, shuffle=True, drop_last=True, seed=3)
+    first = next(iter(loader))
+    assert not np.allclose(first.dense, log.dense[:500])
+
+
+def test_sample_batches_fraction(log):
+    loader = MiniBatchLoader(log, batch_size=100)
+    sampled = loader.sample_batches(0.5, seed=1)
+    assert len(sampled) == max(1, round(len(loader) * 0.5))
+
+
+def test_sample_batches_minimum_one(log):
+    loader = MiniBatchLoader(log, batch_size=100)
+    assert len(loader.sample_batches(0.01)) == 1
+
+
+def test_sample_batches_invalid_fraction(log):
+    loader = MiniBatchLoader(log, batch_size=100)
+    with pytest.raises(ValueError):
+        loader.sample_batches(0.0)
+
+
+def test_invalid_batch_size(log):
+    with pytest.raises(ValueError):
+        MiniBatchLoader(log, batch_size=0)

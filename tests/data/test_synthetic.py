@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic Zipf click-log generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_click_log, _zipf_probabilities
+from tests.conftest import TINY_DATASET
+
+
+def test_zipf_probabilities_sum_to_one():
+    probs = _zipf_probabilities(1000, 1.2)
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(probs) <= 0)
+
+
+def test_generated_shapes():
+    log = generate_click_log(TINY_DATASET, 512, seed=0)
+    assert log.dense.shape == (512, TINY_DATASET.num_dense)
+    assert log.sparse.shape == (512, TINY_DATASET.num_sparse, TINY_DATASET.pooling)
+    assert log.labels.shape == (512,)
+
+
+def test_indices_within_table_bounds():
+    log = generate_click_log(TINY_DATASET, 512, seed=1)
+    for table, rows in enumerate(TINY_DATASET.rows_per_table):
+        assert log.sparse[:, table, :].min() >= 0
+        assert log.sparse[:, table, :].max() < rows
+
+
+def test_deterministic_given_seed():
+    a = generate_click_log(TINY_DATASET, 256, seed=5)
+    b = generate_click_log(TINY_DATASET, 256, seed=5)
+    np.testing.assert_array_equal(a.sparse, b.sparse)
+    np.testing.assert_allclose(a.dense, b.dense)
+
+
+def test_different_seed_differs():
+    a = generate_click_log(TINY_DATASET, 256, seed=5)
+    b = generate_click_log(TINY_DATASET, 256, seed=6)
+    assert not np.array_equal(a.sparse, b.sparse)
+
+
+def test_click_rate_near_target():
+    log = generate_click_log(TINY_DATASET, 8192, seed=2, click_rate=0.25)
+    assert 0.15 < log.click_rate < 0.4
+
+
+def test_access_skew_is_heavy_tailed():
+    log = generate_click_log(TINY_DATASET, 8192, seed=3)
+    counts = np.bincount(log.sparse[:, 0, :].reshape(-1), minlength=TINY_DATASET.rows_per_table[0])
+    counts = np.sort(counts)[::-1]
+    top_decile = counts[: len(counts) // 10].sum()
+    assert top_decile / counts.sum() > 0.5
+
+
+def test_labels_are_learnable_signal():
+    """Labels correlate with the hidden model, so AUC > 0.5 is achievable."""
+    log = generate_click_log(TINY_DATASET, 4096, seed=4, label_noise=0.0)
+    # The dense part of the ground truth alone should give better-than-random
+    # separation between the classes.
+    positives = log.dense[log.labels == 1].mean(axis=0)
+    negatives = log.dense[log.labels == 0].mean(axis=0)
+    assert np.abs(positives - negatives).max() > 0.05
+
+
+def test_batch_slicing():
+    log = generate_click_log(TINY_DATASET, 300, seed=0)
+    batch = log.batch(250, 100)
+    assert batch.size == 50
+
+
+def test_invalid_sample_count_raises():
+    with pytest.raises(ValueError):
+        generate_click_log(TINY_DATASET, 0)

@@ -1,0 +1,32 @@
+"""Numerical helpers shared by the test-suite (finite-difference checks)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat_x = x.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = fn(x)
+        flat_x[i] = original - eps
+        minus = fn(x)
+        flat_x[i] = original
+        flat_grad[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def assert_gradients_close(
+    analytic: np.ndarray, numeric: np.ndarray, rtol: float = 1e-4, atol: float = 1e-6
+) -> None:
+    """Assert analytic and numeric gradients agree."""
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,47 @@
+"""Unit tests for the node/cluster topology."""
+
+from repro.hwsim.cluster import Cluster, Node, multi_node, single_node
+from repro.hwsim.units import GIB
+
+
+def test_single_node_defaults_match_paper_testbed():
+    cluster = single_node()
+    assert cluster.num_nodes == 1
+    assert cluster.total_gpus == 4
+    assert cluster.node.has_accelerator
+
+
+def test_total_hbm_and_dram():
+    cluster = single_node(4)
+    assert cluster.total_hbm_bytes == 4 * 16 * GIB
+    assert cluster.total_dram_bytes == 192 * GIB
+
+
+def test_multi_node_scales_resources():
+    cluster = multi_node(4, gpus_per_node=4)
+    assert cluster.total_gpus == 16
+    assert cluster.total_hbm_bytes == 16 * 16 * GIB
+    assert cluster.total_dram_bytes == 4 * 192 * GIB
+
+
+def test_fits_in_hbm():
+    cluster = single_node(4)
+    assert cluster.fits_in_hbm(60 * GIB)
+    assert not cluster.fits_in_hbm(70 * GIB)
+
+
+def test_fits_in_dram():
+    cluster = single_node(1)
+    assert cluster.fits_in_dram(100 * GIB)
+    assert not cluster.fits_in_dram(300 * GIB)
+
+
+def test_node_capacity_properties():
+    node = Node(num_gpus=2)
+    assert node.total_hbm_bytes == 2 * 16 * GIB
+    assert node.total_dram_bytes == 192 * GIB
+
+
+def test_custom_gpu_count():
+    assert single_node(1).total_gpus == 1
+    assert single_node(2).total_gpus == 2

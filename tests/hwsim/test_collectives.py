@@ -1,0 +1,69 @@
+"""Unit tests for the collective-communication cost models."""
+
+import pytest
+
+from repro.hwsim.collectives import (
+    allreduce_time,
+    alltoall_time,
+    broadcast_time,
+    gather_time,
+    hierarchical_allreduce_time,
+)
+from repro.hwsim.interconnect import INFINIBAND_100G, NVLINK2
+from repro.hwsim.units import MB
+
+
+def test_single_participant_is_free():
+    assert allreduce_time(10 * MB, 1, NVLINK2) == 0.0
+    assert alltoall_time(10 * MB, 1, NVLINK2) == 0.0
+    assert broadcast_time(10 * MB, 1, NVLINK2) == 0.0
+    assert gather_time(10 * MB, 1, NVLINK2) == 0.0
+
+
+def test_zero_bytes_is_free():
+    assert allreduce_time(0, 4, NVLINK2) == 0.0
+    assert alltoall_time(0, 4, NVLINK2) == 0.0
+
+
+def test_allreduce_grows_with_participants():
+    assert allreduce_time(10 * MB, 8, NVLINK2) > allreduce_time(10 * MB, 2, NVLINK2)
+
+
+def test_allreduce_ring_bandwidth_term():
+    """For large messages the ring time approaches 2*(p-1)/p * bytes / bw."""
+    num_bytes = 1000 * MB
+    p = 4
+    expected = 2 * (p - 1) / p * num_bytes / NVLINK2.bandwidth
+    assert allreduce_time(num_bytes, p, NVLINK2) == pytest.approx(expected, rel=0.05)
+
+
+def test_alltoall_cheaper_than_allreduce_per_byte():
+    num_bytes = 100 * MB
+    assert alltoall_time(num_bytes, 4, NVLINK2) < allreduce_time(num_bytes, 4, NVLINK2)
+
+
+def test_alltoall_slower_over_infiniband_than_nvlink():
+    """The Figure 5 effect: inter-node all-to-all dominates training time."""
+    num_bytes = 50 * MB
+    assert alltoall_time(num_bytes, 4, INFINIBAND_100G) > 5 * alltoall_time(
+        num_bytes, 4, NVLINK2
+    )
+
+
+def test_broadcast_log_scaling():
+    num_bytes = 10 * MB
+    assert broadcast_time(num_bytes, 8, NVLINK2) == pytest.approx(
+        3 * (NVLINK2.latency_s + num_bytes / NVLINK2.bandwidth)
+    )
+
+
+def test_gather_collects_from_all_peers():
+    num_bytes = MB
+    assert gather_time(num_bytes, 5, NVLINK2) > gather_time(num_bytes, 2, NVLINK2)
+
+
+def test_hierarchical_allreduce_adds_inter_node_cost():
+    num_bytes = 20 * MB
+    single_node = allreduce_time(num_bytes, 4, NVLINK2)
+    two_nodes = hierarchical_allreduce_time(num_bytes, 4, 2, NVLINK2, INFINIBAND_100G)
+    assert two_nodes > single_node

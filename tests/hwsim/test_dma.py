@@ -1,0 +1,40 @@
+"""Unit tests for the DMA engine model."""
+
+import pytest
+
+from repro.hwsim.dma import DMAEngine
+from repro.hwsim.units import MB
+
+
+def test_zero_bytes_is_free():
+    dma = DMAEngine()
+    assert dma.read_time(0) == 0.0
+    assert dma.write_time(0) == 0.0
+
+
+def test_read_time_scales_with_bytes():
+    dma = DMAEngine()
+    assert dma.read_time(100 * MB) > dma.read_time(1 * MB)
+
+
+def test_scattered_reads_cost_at_least_sequential():
+    dma = DMAEngine()
+    assert dma.read_time(64 * MB, scattered=True) >= dma.read_time(64 * MB, scattered=False)
+
+
+def test_counters_accumulate():
+    dma = DMAEngine()
+    dma.read_time(1 * MB)
+    dma.write_time(2 * MB)
+    assert dma.bytes_read == pytest.approx(1 * MB)
+    assert dma.bytes_written == pytest.approx(2 * MB)
+    assert dma.requests == 2
+    dma.reset_counters()
+    assert dma.requests == 0
+    assert dma.bytes_read == 0.0
+
+
+def test_setup_latency_included():
+    dma = DMAEngine()
+    tiny = dma.read_time(1)
+    assert tiny >= dma.setup_latency_s

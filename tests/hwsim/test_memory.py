@@ -1,0 +1,42 @@
+"""Unit tests for the memory-technology models."""
+
+import pytest
+
+from repro.hwsim.memory import DDR4_SERVER, EDRAM, HBM2, SRAM_ON_CHIP
+from repro.hwsim.units import GB, MB
+
+
+def test_paper_bandwidths():
+    """Table III quotes 76.8 GB/s DDR4 and 900 GB/s HBM2."""
+    assert DDR4_SERVER.stream_bandwidth == pytest.approx(76.8 * GB)
+    assert HBM2.stream_bandwidth == pytest.approx(900 * GB)
+
+
+def test_hbm_roofline_advantage_over_ddr4():
+    """Section IV's roofline: HBM offers >=3x for embedding gathers."""
+    num_bytes = 512 * MB
+    ratio = DDR4_SERVER.gather_time(num_bytes) / HBM2.gather_time(num_bytes)
+    assert ratio >= 3.0
+
+
+def test_stream_time_zero_bytes():
+    assert DDR4_SERVER.stream_time(0) == 0.0
+    assert DDR4_SERVER.gather_time(0) == 0.0
+
+
+def test_stream_faster_than_gather():
+    num_bytes = 64 * MB
+    assert DDR4_SERVER.stream_time(num_bytes) < DDR4_SERVER.gather_time(num_bytes)
+
+
+def test_stream_time_monotone_in_size():
+    assert DDR4_SERVER.stream_time(2 * MB) > DDR4_SERVER.stream_time(1 * MB)
+
+
+def test_on_chip_memories_have_lower_latency():
+    assert SRAM_ON_CHIP.access_latency_s < EDRAM.access_latency_s < DDR4_SERVER.access_latency_s
+
+
+def test_random_access_time_positive():
+    assert DDR4_SERVER.random_access_time(64) > 0.0
+    assert HBM2.random_access_time(256) > 0.0

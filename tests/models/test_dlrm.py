@@ -1,0 +1,113 @@
+"""Unit tests for the DLRM model: shapes, gradients, and training behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import MiniBatchLoader
+from repro.models.dlrm import DLRM
+from repro.models.configs import ModelConfig
+from repro.nn.metrics import roc_auc
+from tests.conftest import TINY_DATASET
+
+
+def test_forward_shape(tiny_dlrm, tiny_click_log):
+    batch = tiny_click_log.batch(0, 32)
+    logits = tiny_dlrm.forward(batch)
+    assert logits.shape == (32,)
+
+
+def test_predict_probabilities(tiny_dlrm, tiny_click_log):
+    probs = tiny_dlrm.predict(tiny_click_log.batch(0, 16))
+    assert np.all((probs > 0) & (probs < 1))
+
+
+def test_mismatched_batch_raises(tiny_dlrm, tiny_ts_click_log):
+    with pytest.raises(ValueError):
+        tiny_dlrm.forward(tiny_ts_click_log.batch(0, 8))
+
+
+def test_backward_before_forward_raises(tiny_dlrm):
+    with pytest.raises(RuntimeError):
+        tiny_dlrm.backward(np.zeros(4))
+
+
+def test_bottom_mlp_must_match_dense_features(tiny_model_config):
+    from dataclasses import replace
+
+    bad = replace(tiny_model_config, bottom_mlp="5-16-8")
+    with pytest.raises(ValueError):
+        DLRM(bad)
+
+
+def test_bottom_mlp_must_end_at_embedding_dim(tiny_model_config):
+    from dataclasses import replace
+
+    bad = replace(tiny_model_config, bottom_mlp="4-16-4")
+    with pytest.raises(ValueError):
+        DLRM(bad)
+
+
+def test_loss_and_gradients_returns_one_grad_per_table(tiny_dlrm, tiny_click_log):
+    batch = tiny_click_log.batch(0, 32)
+    loss, grads = tiny_dlrm.loss_and_gradients(batch)
+    assert loss > 0
+    assert len(grads) == len(tiny_dlrm.tables)
+
+
+def test_normalizer_scales_gradients(tiny_dlrm, tiny_click_log):
+    batch = tiny_click_log.batch(0, 32)
+    tiny_dlrm.zero_grad()
+    _, grads_sum = tiny_dlrm.loss_and_gradients(batch)
+    summed_dense = [grad.copy() for _, grad in tiny_dlrm.dense_parameters()]
+    tiny_dlrm.zero_grad()
+    _, grads_mean = tiny_dlrm.loss_and_gradients(batch, normalizer=32)
+    for (_, grad), summed in zip(tiny_dlrm.dense_parameters(), summed_dense):
+        np.testing.assert_allclose(grad * 32, summed, rtol=1e-10)
+    np.testing.assert_allclose(grads_mean[0].values * 32, grads_sum[0].values, rtol=1e-10)
+
+
+def test_invalid_normalizer_raises(tiny_dlrm, tiny_click_log):
+    with pytest.raises(ValueError):
+        tiny_dlrm.loss_and_gradients(tiny_click_log.batch(0, 8), normalizer=0)
+
+
+def test_train_step_reduces_loss(tiny_model_config, tiny_click_log):
+    model = DLRM(tiny_model_config, seed=1)
+    batch = tiny_click_log.batch(0, 256)
+    first = model.train_step(batch, lr=0.1)
+    for _ in range(30):
+        last = model.train_step(batch, lr=0.1)
+    assert last < first
+
+
+def test_training_improves_auc_on_held_out_data(tiny_model_config, tiny_click_log):
+    model = DLRM(tiny_model_config, seed=2)
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    eval_batch = tiny_click_log.batch(1536, 512)
+    before = roc_auc(eval_batch.labels, model.predict(eval_batch))
+    for _epoch in range(3):
+        for batch in loader:
+            model.train_step(batch, lr=0.1)
+    after = roc_auc(eval_batch.labels, model.predict(eval_batch))
+    assert after > before
+    assert after > 0.55
+
+
+def test_parameter_counts(tiny_dlrm, tiny_model_config):
+    assert tiny_dlrm.num_sparse_parameters == (
+        sum(tiny_model_config.dataset.rows_per_table) * tiny_model_config.embedding_dim
+    )
+    assert tiny_dlrm.num_dense_parameters > 0
+
+
+def test_state_snapshot_is_a_copy(tiny_dlrm, tiny_click_log):
+    snapshot = tiny_dlrm.state_snapshot()
+    tiny_dlrm.train_step(tiny_click_log.batch(0, 64), lr=0.5)
+    after = tiny_dlrm.state_snapshot()
+    changed = any(not np.allclose(snapshot[k], after[k]) for k in snapshot)
+    assert changed
+
+
+def test_apply_sparse_updates_requires_one_grad_per_table(tiny_dlrm):
+    with pytest.raises(ValueError):
+        tiny_dlrm.apply_sparse_updates([], lr=0.1)

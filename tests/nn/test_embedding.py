@@ -1,0 +1,102 @@
+"""Unit tests for EmbeddingBag, SparseGradient, and gradient merging."""
+
+import numpy as np
+import pytest
+
+from repro.nn.embedding import EmbeddingBag, SparseGradient, merge_sparse_gradients
+
+
+def make_bag(rows=16, dim=4, seed=0):
+    return EmbeddingBag(rows, dim, np.random.default_rng(seed))
+
+
+def test_forward_sums_selected_rows():
+    bag = make_bag()
+    indices = [np.array([0, 1]), np.array([2])]
+    out = bag.forward(indices)
+    np.testing.assert_allclose(out[0], bag.weight[0] + bag.weight[1])
+    np.testing.assert_allclose(out[1], bag.weight[2])
+
+
+def test_forward_empty_lookup_is_zero():
+    bag = make_bag()
+    out = bag.forward([np.array([], dtype=np.int64), np.array([3])])
+    np.testing.assert_allclose(out[0], np.zeros(bag.dim))
+
+
+def test_backward_accumulates_shared_rows():
+    bag = make_bag()
+    indices = [np.array([5]), np.array([5])]
+    bag.forward(indices)
+    grad = bag.backward(np.ones((2, bag.dim)))
+    assert grad.nnz == 1
+    np.testing.assert_allclose(grad.values[0], 2.0 * np.ones(bag.dim))
+
+
+def test_backward_multi_hot_repeats_gradient():
+    bag = make_bag()
+    bag.forward([np.array([1, 2, 3])])
+    grad = bag.backward(np.full((1, bag.dim), 3.0))
+    assert set(grad.indices.tolist()) == {1, 2, 3}
+    for row in grad.values:
+        np.testing.assert_allclose(row, 3.0 * np.ones(bag.dim))
+
+
+def test_backward_before_forward_raises():
+    bag = make_bag()
+    with pytest.raises(RuntimeError):
+        bag.backward(np.ones((1, bag.dim)))
+
+
+def test_backward_batch_mismatch_raises():
+    bag = make_bag()
+    bag.forward([np.array([0])])
+    with pytest.raises(ValueError):
+        bag.backward(np.ones((2, bag.dim)))
+
+
+def test_apply_sparse_update_only_touches_selected_rows():
+    bag = make_bag()
+    before = bag.weight.copy()
+    grad = SparseGradient(np.array([3]), np.ones((1, bag.dim)))
+    bag.apply_sparse_update(grad, lr=0.5)
+    np.testing.assert_allclose(bag.weight[3], before[3] - 0.5)
+    untouched = [i for i in range(bag.num_rows) if i != 3]
+    np.testing.assert_allclose(bag.weight[untouched], before[untouched])
+
+
+def test_sparse_gradient_validates_shapes():
+    with pytest.raises(ValueError):
+        SparseGradient(np.array([1, 2]), np.ones((1, 4)))
+
+
+def test_sparse_gradient_restricted_to():
+    grad = SparseGradient(np.array([1, 2, 3]), np.arange(12, dtype=float).reshape(3, 4))
+    restricted = grad.restricted_to(np.array([2, 3]))
+    assert restricted.indices.tolist() == [2, 3]
+
+
+def test_merge_sparse_gradients_adds_overlapping_rows():
+    a = SparseGradient(np.array([1, 2]), np.ones((2, 3)))
+    b = SparseGradient(np.array([2, 4]), 2.0 * np.ones((2, 3)))
+    merged = merge_sparse_gradients([a, b])
+    assert merged.indices.tolist() == [1, 2, 4]
+    np.testing.assert_allclose(merged.values[1], 3.0 * np.ones(3))
+
+
+def test_merge_sparse_gradients_all_empty():
+    empty = SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 3)))
+    merged = merge_sparse_gradients([empty, empty])
+    assert merged.nnz == 0
+
+
+def test_rows_bytes_and_parameter_count():
+    bag = make_bag(rows=10, dim=4)
+    assert bag.num_parameters == 40
+    assert bag.rows_bytes() == 10 * 4 * 4
+    assert bag.rows_bytes(num_rows=2, dtype_bytes=8) == 2 * 4 * 8
+
+
+def test_invalid_construction_raises():
+    with pytest.raises(ValueError):
+        EmbeddingBag(0, 4, np.random.default_rng(0))

@@ -1,0 +1,70 @@
+"""Unit tests for the DLRM dot-product feature interaction."""
+
+import numpy as np
+
+from repro.nn.interaction import (
+    dot_interaction,
+    dot_interaction_backward,
+    interaction_output_dim,
+)
+from tests.helpers import assert_gradients_close, numerical_gradient
+
+
+def test_output_dim_formula():
+    assert interaction_output_dim(16, 26) == 16 + 27 * 26 // 2
+    assert interaction_output_dim(8, 0) == 8
+    assert interaction_output_dim(8, 1) == 8 + 1
+
+
+def test_forward_shape(rng):
+    dense = rng.normal(size=(5, 8))
+    sparse = [rng.normal(size=(5, 8)) for _ in range(3)]
+    out, _ = dot_interaction(dense, sparse)
+    assert out.shape == (5, interaction_output_dim(8, 3))
+
+
+def test_forward_contains_pairwise_dots(rng):
+    dense = rng.normal(size=(2, 4))
+    sparse = [rng.normal(size=(2, 4))]
+    out, _ = dot_interaction(dense, sparse)
+    expected_dot = (dense * sparse[0]).sum(axis=1)
+    np.testing.assert_allclose(out[:, 4], expected_dot)
+    np.testing.assert_allclose(out[:, :4], dense)
+
+
+def test_backward_dense_gradient_matches_numeric(rng):
+    dense = rng.normal(size=(3, 4))
+    sparse = [rng.normal(size=(3, 4)) for _ in range(2)]
+
+    def loss_fn(d):
+        out, _ = dot_interaction(d, sparse)
+        return float((out ** 2).sum())
+
+    out, cache = dot_interaction(dense, sparse)
+    grad_dense, _ = dot_interaction_backward(2.0 * out, cache)
+    numeric = numerical_gradient(loss_fn, dense)
+    assert_gradients_close(grad_dense, numeric, rtol=1e-4)
+
+
+def test_backward_sparse_gradient_matches_numeric(rng):
+    dense = rng.normal(size=(3, 4))
+    sparse = [rng.normal(size=(3, 4)) for _ in range(2)]
+
+    def loss_fn(s0):
+        out, _ = dot_interaction(dense, [s0, sparse[1]])
+        return float((out ** 2).sum())
+
+    out, cache = dot_interaction(dense, sparse)
+    _, grad_sparse = dot_interaction_backward(2.0 * out, cache)
+    numeric = numerical_gradient(loss_fn, sparse[0])
+    assert_gradients_close(grad_sparse[0], numeric, rtol=1e-4)
+
+
+def test_backward_returns_one_gradient_per_sparse_feature(rng):
+    dense = rng.normal(size=(2, 4))
+    sparse = [rng.normal(size=(2, 4)) for _ in range(5)]
+    out, cache = dot_interaction(dense, sparse)
+    _, grad_sparse = dot_interaction_backward(np.ones_like(out), cache)
+    assert len(grad_sparse) == 5
+    for grad in grad_sparse:
+        assert grad.shape == (2, 4)

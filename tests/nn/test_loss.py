@@ -1,0 +1,81 @@
+"""Unit tests for the BCE-with-logits loss (Eq. 1-2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.loss import (
+    bce_with_logits,
+    bce_with_logits_backward,
+    predicted_probabilities,
+)
+
+
+def test_matches_reference_formula(rng):
+    logits = rng.normal(size=32)
+    targets = (rng.uniform(size=32) < 0.4).astype(float)
+    p = 1.0 / (1.0 + np.exp(-logits))
+    reference = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).sum()
+    assert bce_with_logits(logits, targets, reduction="sum") == pytest.approx(reference)
+
+
+def test_mean_reduction_is_sum_over_n(rng):
+    logits = rng.normal(size=16)
+    targets = (rng.uniform(size=16) < 0.5).astype(float)
+    total = bce_with_logits(logits, targets, reduction="sum")
+    mean = bce_with_logits(logits, targets, reduction="mean")
+    assert mean == pytest.approx(total / 16)
+
+
+def test_sum_decomposes_over_micro_batches(rng):
+    """Eq. 5: L(M) == L(O) + L(X) for any partition of the mini-batch."""
+    logits = rng.normal(size=64)
+    targets = (rng.uniform(size=64) < 0.3).astype(float)
+    mask = rng.uniform(size=64) < 0.7
+    total = bce_with_logits(logits, targets)
+    split = bce_with_logits(logits[mask], targets[mask]) + bce_with_logits(
+        logits[~mask], targets[~mask]
+    )
+    assert total == pytest.approx(split)
+
+
+def test_extreme_logits_are_finite():
+    loss = bce_with_logits(np.array([1e4, -1e4]), np.array([0.0, 1.0]))
+    assert np.isfinite(loss)
+
+
+def test_gradient_is_sigmoid_minus_target(rng):
+    logits = rng.normal(size=8)
+    targets = (rng.uniform(size=8) < 0.5).astype(float)
+    grad = bce_with_logits_backward(logits, targets)
+    np.testing.assert_allclose(grad, 1.0 / (1.0 + np.exp(-logits)) - targets)
+
+
+def test_gradient_matches_numeric(rng):
+    logits = rng.normal(size=6)
+    targets = (rng.uniform(size=6) < 0.5).astype(float)
+    grad = bce_with_logits_backward(logits, targets)
+    eps = 1e-6
+    for i in range(6):
+        bumped = logits.copy()
+        bumped[i] += eps
+        dipped = logits.copy()
+        dipped[i] -= eps
+        numeric = (bce_with_logits(bumped, targets) - bce_with_logits(dipped, targets)) / (2 * eps)
+        assert grad[i] == pytest.approx(numeric, rel=1e-4)
+
+
+def test_shape_mismatch_raises(rng):
+    with pytest.raises(ValueError):
+        bce_with_logits(np.zeros(3), np.zeros(4))
+
+
+def test_unknown_reduction_raises():
+    with pytest.raises(ValueError):
+        bce_with_logits(np.zeros(2), np.zeros(2), reduction="median")
+    with pytest.raises(ValueError):
+        bce_with_logits_backward(np.zeros(2), np.zeros(2), reduction="median")
+
+
+def test_predicted_probabilities_in_unit_interval(rng):
+    probs = predicted_probabilities(rng.normal(scale=20, size=50))
+    assert np.all((probs >= 0) & (probs <= 1))

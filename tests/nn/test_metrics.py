@@ -1,0 +1,61 @@
+"""Unit tests for AUC, accuracy, and log-loss metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import binary_accuracy, log_loss, roc_auc
+
+
+def test_auc_perfect_separation():
+    targets = np.array([0, 0, 1, 1])
+    scores = np.array([0.1, 0.2, 0.8, 0.9])
+    assert roc_auc(targets, scores) == pytest.approx(1.0)
+
+
+def test_auc_inverted_scores_is_zero():
+    targets = np.array([0, 0, 1, 1])
+    scores = np.array([0.9, 0.8, 0.2, 0.1])
+    assert roc_auc(targets, scores) == pytest.approx(0.0)
+
+
+def test_auc_random_scores_near_half(rng):
+    targets = (rng.uniform(size=5000) < 0.5).astype(float)
+    scores = rng.uniform(size=5000)
+    assert roc_auc(targets, scores) == pytest.approx(0.5, abs=0.03)
+
+
+def test_auc_handles_ties():
+    targets = np.array([0, 1, 0, 1])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    assert roc_auc(targets, scores) == pytest.approx(0.5)
+
+
+def test_auc_single_class_raises():
+    with pytest.raises(ValueError):
+        roc_auc(np.ones(4), np.linspace(0, 1, 4))
+
+
+def test_auc_matches_pairwise_definition(rng):
+    targets = (rng.uniform(size=200) < 0.3).astype(float)
+    scores = rng.normal(size=200)
+    pos = scores[targets == 1]
+    neg = scores[targets == 0]
+    wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+    expected = wins / (len(pos) * len(neg))
+    assert roc_auc(targets, scores) == pytest.approx(expected)
+
+
+def test_binary_accuracy():
+    targets = np.array([0, 1, 1, 0])
+    scores = np.array([0.2, 0.9, 0.4, 0.6])
+    assert binary_accuracy(targets, scores) == pytest.approx(0.5)
+
+
+def test_log_loss_perfect_predictions_is_small():
+    targets = np.array([0.0, 1.0])
+    assert log_loss(targets, np.array([1e-9, 1 - 1e-9])) < 1e-6
+
+
+def test_log_loss_clips_probabilities():
+    value = log_loss(np.array([1.0]), np.array([0.0]))
+    assert np.isfinite(value)

@@ -1,0 +1,73 @@
+"""Unit tests for the MLP stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn.mlp import MLP
+from tests.helpers import assert_gradients_close, numerical_gradient
+
+
+def test_mlp_from_arch_string(rng):
+    mlp = MLP.from_arch_string("13-64-32-16", rng)
+    assert mlp.layer_sizes == [13, 64, 32, 16]
+    out = mlp.forward(rng.normal(size=(4, 13)))
+    assert out.shape == (4, 16)
+
+
+def test_mlp_requires_two_sizes(rng):
+    with pytest.raises(ValueError):
+        MLP([8], rng)
+
+
+def test_mlp_sigmoid_output_bounded(rng):
+    mlp = MLP([4, 8, 1], rng, sigmoid_output=True)
+    out = mlp.forward(rng.normal(scale=5.0, size=(16, 4)))
+    assert np.all((out >= 0.0) & (out <= 1.0))
+
+
+def test_mlp_backward_matches_numeric_on_inputs(rng):
+    mlp = MLP([3, 6, 2], rng)
+    x = rng.normal(size=(5, 3))
+
+    def loss_fn(x_in):
+        return float((mlp.forward(x_in) ** 2).sum())
+
+    out = mlp.forward(x)
+    grad_in = mlp.backward(2.0 * out)
+    numeric = numerical_gradient(loss_fn, x)
+    assert_gradients_close(grad_in, numeric, rtol=1e-3)
+
+
+def test_mlp_backward_matches_numeric_on_weights(rng):
+    mlp = MLP([3, 4, 1], rng)
+    x = rng.normal(size=(6, 3))
+    target_layer = mlp.layers[0]
+
+    def loss_fn(_w):
+        return float((mlp.forward(x) ** 2).sum())
+
+    mlp.zero_grad()
+    out = mlp.forward(x)
+    mlp.backward(2.0 * out)
+    numeric = numerical_gradient(loss_fn, target_layer.weight)
+    assert_gradients_close(target_layer.grad_weight, numeric, rtol=1e-3)
+
+
+def test_mlp_parameter_count(rng):
+    mlp = MLP([4, 8, 2], rng)
+    assert mlp.num_parameters == (4 * 8 + 8) + (8 * 2 + 2)
+
+
+def test_mlp_flops_per_sample(rng):
+    mlp = MLP([4, 8, 2], rng)
+    assert mlp.flops_per_sample == 2 * (4 * 8 + 8 * 2)
+
+
+def test_mlp_zero_grad_resets_all_layers(rng):
+    mlp = MLP([3, 5, 1], rng)
+    x = rng.normal(size=(4, 3))
+    out = mlp.forward(x)
+    mlp.backward(np.ones_like(out))
+    mlp.zero_grad()
+    for param, grad in mlp.parameters():
+        assert np.all(grad == 0.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the shared training cost model."""
+
+import pytest
+
+from repro.models import RM1, RM2, RM3
+from repro.perf import SoftwareOverheads, TrainingCostModel
+from repro.hwsim import multi_node, single_node
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return TrainingCostModel(RM3, cluster=single_node(4))
+
+
+def test_lookup_counting(costs):
+    assert costs.lookups(100) == 100 * 26
+    assert costs.lookup_bytes(100) == 100 * 26 * 64 * 4
+    assert costs.pooled_bytes(100) == 100 * 26 * 64 * 4  # one-hot: pooled == raw
+
+
+def test_time_series_lookups():
+    taobao = TrainingCostModel(RM1, cluster=single_node(4))
+    assert taobao.lookups(10) == 10 * 23
+
+
+def test_mlp_backward_is_twice_forward(costs):
+    assert costs.mlp_backward_time(1024) == pytest.approx(2 * costs.mlp_forward_time(1024))
+
+
+def test_cpu_embedding_costs_scale_with_samples(costs):
+    assert costs.cpu_embedding_lookup_time(4096) > costs.cpu_embedding_lookup_time(1024)
+    assert costs.cpu_embedding_update_time(1024) > costs.cpu_embedding_lookup_time(1024)
+
+
+def test_cpu_embedding_sublinear_at_small_batches(costs):
+    """Small batches cannot use all cores, so per-sample cost is higher."""
+    per_sample_small = costs.cpu_embedding_lookup_time(256) / 256
+    per_sample_large = costs.cpu_embedding_lookup_time(8192) / 8192
+    assert per_sample_small > per_sample_large
+
+
+def test_gpu_embedding_lookup_faster_than_cpu(costs):
+    assert costs.gpu_embedding_lookup_time(1024) < costs.cpu_embedding_lookup_time(1024)
+
+
+def test_transfer_times_positive(costs):
+    assert costs.cpu_to_gpu_embedding_transfer_time(1024) > 0
+    assert costs.gpu_to_cpu_gradient_transfer_time(1024) > 0
+
+
+def test_allreduce_zero_for_single_gpu():
+    single = TrainingCostModel(RM2, cluster=single_node(1))
+    assert single.dense_allreduce_time() == 0.0
+    assert single.embedding_alltoall_time(1024) == 0.0
+
+
+def test_allreduce_grows_across_nodes():
+    one = TrainingCostModel(RM3, cluster=single_node(4)).dense_allreduce_time()
+    four = TrainingCostModel(RM3, cluster=multi_node(4)).dense_allreduce_time()
+    assert four > one
+
+
+def test_alltoall_grows_across_nodes():
+    one = TrainingCostModel(RM3, cluster=single_node(4)).embedding_alltoall_time(1024)
+    four = TrainingCostModel(RM3, cluster=multi_node(4)).embedding_alltoall_time(1024)
+    assert four > 2 * one
+
+
+def test_segregation_plateaus_with_cores(costs):
+    """Figure 8: CPU segregation stops improving past ~24 cores."""
+    t1 = costs.cpu_segregation_time(4096, cores=1)
+    t8 = costs.cpu_segregation_time(4096, cores=8)
+    t24 = costs.cpu_segregation_time(4096, cores=24)
+    t32 = costs.cpu_segregation_time(4096, cores=32)
+    assert t1 > t8 > t24
+    assert t24 == pytest.approx(t32)
+
+
+def test_segregation_comparable_to_gpu_training_time(costs):
+    """Figure 7: CPU segregation is 1-3x a mini-batch's GPU training time."""
+    segregation = costs.cpu_segregation_time(4096)
+    gpu_compute = costs.mlp_forward_time(1024) + costs.mlp_backward_time(1024)
+    assert 0.5 < segregation / gpu_compute < 6.0
+
+
+def test_memory_feasibility_checks():
+    assert TrainingCostModel(RM2, cluster=single_node(1)).embedding_fits_gpu_only()
+    assert not TrainingCostModel(RM3, cluster=single_node(2)).embedding_fits_gpu_only()
+    assert TrainingCostModel(RM3, cluster=single_node(4)).embedding_fits_gpu_only()
+    assert TrainingCostModel(RM3, cluster=single_node(1)).embedding_fits_cpu()
+
+
+def test_custom_overheads_affect_costs():
+    slow = TrainingCostModel(
+        RM2,
+        cluster=single_node(4),
+        overheads=SoftwareOverheads(cpu_lookup_overhead_s=5e-6),
+    )
+    fast = TrainingCostModel(RM2, cluster=single_node(4))
+    assert slow.cpu_embedding_lookup_time(4096) > fast.cpu_embedding_lookup_time(4096)

@@ -1,0 +1,86 @@
+"""Property-based tests of µ-batch fragmentation and sparse-gradient merging."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import split_minibatch
+from repro.data.batch import MiniBatch
+from repro.nn.embedding import SparseGradient, merge_sparse_gradients
+
+
+@st.composite
+def random_batch_and_hot_sets(draw):
+    n = draw(st.integers(2, 40))
+    tables = draw(st.integers(1, 4))
+    pooling = draw(st.integers(1, 3))
+    rows = draw(st.integers(4, 32))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    batch = MiniBatch(
+        dense=rng.normal(size=(n, 2)),
+        sparse=rng.integers(0, rows, size=(n, tables, pooling)),
+        labels=rng.integers(0, 2, size=n).astype(float),
+    )
+    hot_sets = []
+    for _ in range(tables):
+        hot_count = draw(st.integers(0, rows))
+        hot_sets.append(np.sort(rng.choice(rows, size=hot_count, replace=False)))
+    return batch, hot_sets
+
+
+@given(random_batch_and_hot_sets())
+@settings(max_examples=60, deadline=None)
+def test_micro_batches_partition_the_minibatch(data):
+    """Eq. 3: O ∪ X = M and O ∩ X = ∅ for any batch and hot set."""
+    batch, hot_sets = data
+    micro = split_minibatch(batch, hot_sets)
+    assert micro.popular.size + micro.non_popular.size == batch.size
+    # Labels (with multiplicity) are preserved by the partition.
+    merged = np.sort(np.concatenate([micro.popular.labels, micro.non_popular.labels]))
+    np.testing.assert_array_equal(merged, np.sort(batch.labels))
+    # Masks are consistent.
+    assert micro.popular_mask.sum() == micro.popular.size
+
+
+@given(random_batch_and_hot_sets())
+@settings(max_examples=60, deadline=None)
+def test_popular_inputs_never_touch_cold_rows(data):
+    batch, hot_sets = data
+    micro = split_minibatch(batch, hot_sets)
+    for table, hot in enumerate(hot_sets):
+        if micro.popular.size == 0:
+            break
+        if hot.size == 0:
+            assert micro.popular.size == 0
+            break
+        assert np.isin(micro.popular.sparse[:, table, :], hot).all()
+
+
+@st.composite
+def random_sparse_gradients(draw):
+    dim = draw(st.integers(1, 8))
+    parts = []
+    for _ in range(draw(st.integers(1, 4))):
+        nnz = draw(st.integers(0, 10))
+        rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+        indices = np.sort(rng.choice(100, size=nnz, replace=False))
+        values = rng.normal(size=(nnz, dim))
+        parts.append(SparseGradient(indices, values))
+    return parts, dim
+
+
+@given(random_sparse_gradients())
+@settings(max_examples=60, deadline=None)
+def test_merge_sparse_gradients_preserves_total_mass(data):
+    """Merging µ-batch gradients preserves the dense-equivalent sum."""
+    parts, dim = data
+    merged = merge_sparse_gradients(parts)
+    dense_total = np.zeros((100, dim))
+    for part in parts:
+        for idx, value in zip(part.indices, part.values):
+            dense_total[idx] += value
+    dense_merged = np.zeros((100, dim))
+    for idx, value in zip(merged.indices, merged.values):
+        dense_merged[idx] += value
+    np.testing.assert_allclose(dense_merged, dense_total, rtol=1e-12, atol=1e-12)
+    assert len(np.unique(merged.indices)) == merged.nnz

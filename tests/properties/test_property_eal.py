@@ -1,0 +1,51 @@
+"""Property-based tests of the Embedding Access Logger and Feistel randomizer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eal import EALConfig, EmbeddingAccessLogger, expected_parallel_requests
+from repro.core.lookup_engine import FeistelRandomizer
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**10))
+@settings(max_examples=200, deadline=None)
+def test_feistel_round_trip(value, seed):
+    randomizer = FeistelRandomizer(seed=seed)
+    assert randomizer.inverse(randomizer.hash(value)) == value
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 500)), min_size=1, max_size=200),
+    st.integers(0, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_eal_accessed_key_is_immediately_queryable(accesses, seed):
+    """Directly after access(t, i), the entry is tracked (it was just inserted
+    or refreshed), regardless of the access history."""
+    eal = EmbeddingAccessLogger(EALConfig(size_bytes=2048, ways=4), seed=seed)
+    for table, index in accesses:
+        eal.access(table, index)
+        assert eal.contains(table, index)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 200)), min_size=1, max_size=150)
+)
+@settings(max_examples=50, deadline=None)
+def test_eal_counters_are_consistent(accesses):
+    eal = EmbeddingAccessLogger(EALConfig(size_bytes=1024, ways=4), seed=0)
+    for table, index in accesses:
+        eal.access(table, index)
+    assert eal.hits + eal.misses == len(accesses)
+    assert eal.insertions == eal.misses
+    assert 0.0 <= eal.occupancy <= 1.0
+    tracked = sum(h.size for h in eal.hot_indices(num_tables=4))
+    assert tracked <= eal.config.num_entries
+
+
+@given(st.integers(1, 1024), st.integers(1, 128))
+@settings(max_examples=100, deadline=None)
+def test_expected_parallel_requests_bounded(queue, banks):
+    value = expected_parallel_requests(queue, banks)
+    assert 0 < value <= min(queue, banks) + 1e-9
