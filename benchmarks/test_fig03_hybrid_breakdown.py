@@ -5,7 +5,6 @@ communication account for up to ~75 % of training time on the large Criteo
 datasets, while the Taobao (TBSM) workload is neural-network dominated.
 """
 
-import pytest
 
 from benchmarks.figutils import BATCH_PER_GPU, WORKLOADS, cost_model
 from repro.analysis.breakdown import embedding_related_fraction, normalised_breakdown

@@ -5,7 +5,6 @@ day to day, so a static offline profile steadily loses coverage — the
 motivation for Hotline's online learning phase and periodic re-calibration.
 """
 
-from benchmarks.figutils import cost_model
 from repro.analysis.report import format_series
 from repro.data.skew import EvolvingSkewGenerator, access_histogram, top_k_overlap
 from repro.models import RM3

@@ -4,7 +4,6 @@ Paper claim: the cheap 2-bit SRRIP tracker identifies ~90 % of the popular
 inputs an ideal (unbounded-counter) LFU tracker would identify.
 """
 
-from benchmarks.figutils import cost_model
 from repro.analysis.report import format_table
 from repro.core.eal import EALConfig, EmbeddingAccessLogger, OracleLFUTracker
 from repro.core.lookup_engine import LookupEngineArray

@@ -26,6 +26,7 @@ This package implements the paper's contribution:
   and simulated wall-clock time.
 """
 
+from repro.core.hotset import HotSetIndex, as_hot_set_index
 from repro.core.eal import (
     EALConfig,
     EmbeddingAccessLogger,
@@ -44,6 +45,8 @@ from repro.core.scheduler import HotlineStepPlan, HotlineScheduler
 from repro.core.pipeline import HotlineTrainer, TrainingResult
 
 __all__ = [
+    "HotSetIndex",
+    "as_hot_set_index",
     "EALConfig",
     "EmbeddingAccessLogger",
     "OracleLFUTracker",

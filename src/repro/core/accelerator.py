@@ -18,7 +18,7 @@ The timing methods answer the two questions the pipeline scheduler needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

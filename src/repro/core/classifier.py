@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.hotset import HotSetIndex, as_hot_set_index
 from repro.data.batch import MiniBatch
 
 
@@ -44,26 +45,27 @@ class MicroBatches:
         return self.popular.size, self.non_popular.size
 
 
-def split_minibatch(batch: MiniBatch, hot_sets: list[np.ndarray]) -> MicroBatches:
+def split_minibatch(
+    batch: MiniBatch, hot_sets: list[np.ndarray] | HotSetIndex
+) -> MicroBatches:
     """Fragment ``batch`` into popular / non-popular µ-batches.
 
     Args:
         batch: The mini-batch to fragment.
         hot_sets: Per-table arrays of frequently-accessed row ids (from the
-            EAL or an offline profiler).
+            EAL or an offline profiler), or a prebuilt
+            :class:`~repro.core.hotset.HotSetIndex` over them.  The hot path
+            passes the prebuilt index so each step performs one fancy-index
+            per table instead of an ``np.isin`` set scan.
 
     Returns:
         A :class:`MicroBatches` whose two µ-batches partition the input.
     """
-    if len(hot_sets) != batch.num_tables:
+    index = as_hot_set_index(hot_sets)
+    if index.num_tables != batch.num_tables:
         raise ValueError(
-            f"expected {batch.num_tables} hot sets (one per table), got {len(hot_sets)}"
+            f"expected {batch.num_tables} hot sets (one per table), got {index.num_tables}"
         )
-    mask = np.ones(batch.size, dtype=bool)
-    for table, hot in enumerate(hot_sets):
-        if hot.size == 0:
-            mask[:] = False
-            break
-        mask &= np.isin(batch.sparse[:, table, :], hot).all(axis=1)
+    mask = index.classify(batch.sparse)
     popular, non_popular = batch.split(mask)
     return MicroBatches(popular=popular, non_popular=non_popular, popular_mask=mask)

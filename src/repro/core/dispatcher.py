@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.hotset import HotSetIndex, as_hot_set_index
 from repro.core.isa import Instruction, Opcode
 from repro.hwsim.units import MIB
 
@@ -93,7 +94,7 @@ class DataDispatcher:
     def build_requests(
         self,
         sparse: np.ndarray,
-        hot_sets: list[np.ndarray],
+        hot_sets: list[np.ndarray] | HotSetIndex,
     ) -> list[Instruction]:
         """Instruction stream gathering the working set of a µ-batch.
 
@@ -102,7 +103,8 @@ class DataDispatcher:
         Duplicate rows within the µ-batch are fetched only once.
         """
         batch, num_tables, pooling = sparse.shape
-        if len(hot_sets) != num_tables:
+        index = as_hot_set_index(hot_sets)
+        if index.num_tables != num_tables:
             raise ValueError("one hot set per table is required")
         if not self.edram.fits(batch, num_tables * pooling):
             raise ValueError(
@@ -111,9 +113,7 @@ class DataDispatcher:
         instructions: list[Instruction] = []
         for table in range(num_tables):
             rows = np.unique(sparse[:, table, :].reshape(-1))
-            hot = hot_sets[table]
-            hot_rows = rows[np.isin(rows, hot)] if hot.size else rows[:0]
-            cold_rows = rows[~np.isin(rows, hot)] if hot.size else rows
+            hot_rows, cold_rows = index.split_rows(table, rows)
             for row in cold_rows:
                 address = self.address_registers.cpu_address(table, int(row), self.row_bytes)
                 instructions.append(

@@ -254,9 +254,16 @@ class OracleLFUTracker:
         return [np.array(sorted(rows), dtype=np.int64) for rows in result]
 
     def contains(self, table: int, index: int) -> bool:
-        """Whether (table, index) is in the current top-capacity set."""
+        """Whether (table, index) is in the current top-capacity set.
+
+        A scalar query against the O(capacity) hot list; batch callers
+        should build a :class:`~repro.core.hotset.HotSetIndex` from
+        :meth:`hot_indices` instead of probing one id at a time.
+        """
         hot = self.hot_indices(table + 1)
-        return bool(np.isin(index, hot[table]).item()) if table < len(hot) else False
+        if table >= len(hot):
+            return False
+        return bool(np.any(hot[table] == int(index)))
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,144 @@
+"""Precomputed hot-set membership bitmaps for O(1) popularity tests.
+
+Classifying a mini-batch into popular and non-popular µ-batches requires,
+for every lookup, a membership test against the per-table hot set.  Testing
+with ``np.isin`` re-sorts (or re-hashes) the hot set on *every* call, which
+is wasteful because the hot sets only change when the learning phase runs
+(once per epoch, or at a recalibration point).
+
+:class:`HotSetIndex` trades that repeated work for a single boolean bitmap
+per table, built once per learning phase: membership of an arbitrary block
+of row ids then becomes one fancy-index (``bitmap[rows]``), and classifying
+a whole ``(batch, tables, pooling)`` mini-batch is one fancy-index per
+table.  This mirrors how BagPipe precomputes cached-embedding membership
+ahead of the training step instead of re-testing membership per batch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class HotSetIndex:
+    """Per-table boolean bitmaps over embedding row ids.
+
+    The bitmap of table ``t`` has ``bitmap[row] == True`` iff ``row`` is in
+    the table's hot set.  Rows outside the bitmap's range (possible when the
+    index was built without table sizes) are never hot.
+
+    Attributes:
+        hot_sets: The original per-table arrays of hot row ids.
+    """
+
+    def __init__(
+        self,
+        hot_sets: Sequence[np.ndarray],
+        rows_per_table: Sequence[int] | None = None,
+    ):
+        if rows_per_table is not None and len(rows_per_table) != len(hot_sets):
+            raise ValueError("rows_per_table must have one entry per hot set")
+        self.hot_sets: list[np.ndarray] = [
+            np.asarray(hot, dtype=np.int64) for hot in hot_sets
+        ]
+        self._bitmaps: list[np.ndarray] = []
+        for table, hot in enumerate(self.hot_sets):
+            if hot.size and hot.min() < 0:
+                # Negative ids would wrap around the bitmap and silently mark
+                # an unrelated row hot.
+                raise ValueError(f"hot set of table {table} contains negative row ids")
+            if rows_per_table is not None:
+                size = int(rows_per_table[table])
+                if hot.size and hot.max() >= size:
+                    raise ValueError(
+                        f"hot set of table {table} references out-of-range rows"
+                    )
+            else:
+                size = int(hot.max()) + 1 if hot.size else 0
+            bitmap = np.zeros(size, dtype=bool)
+            if hot.size:
+                bitmap[hot] = True
+            self._bitmaps.append(bitmap)
+
+    @classmethod
+    def from_hot_sets(cls, hot_sets: Sequence[np.ndarray]) -> "HotSetIndex":
+        """Build an index sized by the largest row id of each hot set."""
+        return cls(hot_sets)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of indexed tables."""
+        return len(self._bitmaps)
+
+    def table_size(self, table: int) -> int:
+        """Length of one table's bitmap."""
+        return int(self._bitmaps[table].shape[0])
+
+    def contains(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """Vectorised membership test: True where ``rows`` is hot.
+
+        Accepts an integer array of any shape (or a scalar) and returns a
+        boolean array of the same shape.  Rows outside the table's range are
+        reported cold rather than raising, so callers can probe arbitrary
+        ids.
+        """
+        bitmap = self._bitmaps[table]
+        rows = np.asarray(rows)
+        if bitmap.size == 0:
+            return np.zeros(rows.shape, dtype=bool)
+        result = np.zeros(rows.shape, dtype=bool)
+        in_range = (rows >= 0) & (rows < bitmap.size)
+        result[in_range] = bitmap[rows[in_range]]
+        return result
+
+    def is_hot(self, table: int, row: int) -> bool:
+        """Scalar membership test for one row."""
+        row = int(row)
+        bitmap = self._bitmaps[table]
+        return bool(0 <= row < bitmap.size and bitmap[row])
+
+    def split_rows(self, table: int, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split ``rows`` into (hot, cold) subsets, preserving order."""
+        mask = self.contains(table, rows)
+        return rows[mask], rows[~mask]
+
+    def classify(self, sparse: np.ndarray) -> np.ndarray:
+        """Popular-input mask for a ``(batch, tables, pooling)`` index block.
+
+        An input is popular only if *every* one of its lookups hits a hot
+        row (Section I of the paper); a table with an empty hot set makes
+        every input non-popular.
+        """
+        if sparse.ndim != 3:
+            raise ValueError("sparse must be 3-D (batch, num_tables, pooling)")
+        batch, num_tables, _pooling = sparse.shape
+        if num_tables != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} tables in the index block, got {num_tables}"
+            )
+        mask = np.ones(batch, dtype=bool)
+        for table in range(num_tables):
+            if self._bitmaps[table].size == 0:
+                return np.zeros(batch, dtype=bool)
+            mask &= self.contains(table, sparse[:, table, :]).all(axis=1)
+        return mask
+
+    @property
+    def hot_rows_total(self) -> int:
+        """Total number of hot rows across all tables."""
+        return int(sum(hot.size for hot in self.hot_sets))
+
+
+def as_hot_set_index(
+    hot_sets: "Sequence[np.ndarray] | HotSetIndex",
+) -> HotSetIndex:
+    """Coerce raw per-table hot-set arrays into a :class:`HotSetIndex`.
+
+    Lets APIs accept either form: callers on the hot path pass a prebuilt
+    index (built once per learning phase), while tests and one-shot callers
+    can keep passing plain arrays.
+    """
+    if isinstance(hot_sets, HotSetIndex):
+        return hot_sets
+    return HotSetIndex.from_hot_sets(hot_sets)

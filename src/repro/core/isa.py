@@ -22,6 +22,8 @@ from enum import Enum
 
 import numpy as np
 
+from repro.core.hotset import HotSetIndex
+
 
 class Opcode(Enum):
     """The six operations the accelerator driver can issue."""
@@ -103,11 +105,13 @@ class InstructionDriver:
         GPU if popular, from CPU DRAM otherwise) and accumulates it into the
         sample's slot of the embedding vector buffer.
         """
+        index = HotSetIndex.from_hot_sets([hot_rows])
         program: list[Instruction] = []
         for slot, rows in enumerate(sample_indices):
-            for row in rows:
+            hot_mask = index.contains(0, np.asarray(rows, dtype=np.int64))
+            for row, is_hot in zip(rows, hot_mask):
                 row = int(row)
-                if hot_rows.size and np.isin(row, hot_rows).item():
+                if is_hot:
                     program.append(self.gather_row_from_gpu(gpu_id, table, row))
                 else:
                     program.append(self.gather_row_from_cpu(table, row))

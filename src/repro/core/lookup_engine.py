@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.hotset import HotSetIndex, as_hot_set_index
+
 
 class FeistelRandomizer:
     """A small balanced Feistel network over 32-bit values.
@@ -118,24 +120,20 @@ class LookupEngineArray:
         return mask
 
     def classify_with_hot_sets(
-        self, sparse: np.ndarray, hot_sets: list[np.ndarray]
+        self, sparse: np.ndarray, hot_sets: list[np.ndarray] | HotSetIndex
     ) -> np.ndarray:
         """Vectorised classification against explicit per-table hot sets.
 
         Functionally identical to :meth:`classify` when the hot sets are the
         EAL's resident indices; used on large batches where the per-index
-        query path would be slow in Python.
+        query path would be slow in Python.  ``hot_sets`` may be per-table
+        arrays or a prebuilt :class:`~repro.core.hotset.HotSetIndex`.
         """
-        batch, num_tables, pooling = sparse.shape
-        if len(hot_sets) != num_tables:
+        _batch, num_tables, _pooling = sparse.shape
+        index = as_hot_set_index(hot_sets)
+        if index.num_tables != num_tables:
             raise ValueError("one hot set per table is required")
-        mask = np.ones(batch, dtype=bool)
-        for table in range(num_tables):
-            hot = hot_sets[table]
-            if hot.size == 0:
-                return np.zeros(batch, dtype=bool)
-            mask &= np.isin(sparse[:, table, :], hot).all(axis=1)
-        return mask
+        return index.classify(sparse)
 
     def segregation_cycles(self, batch_size: int, lookups_per_input: int) -> int:
         """Accelerator cycles to classify one mini-batch.

@@ -33,7 +33,6 @@ from repro.core.placement import EmbeddingPlacement
 from repro.data.batch import MiniBatch
 from repro.data.loader import MiniBatchLoader
 from repro.nn.embedding import SparseGradient, merge_sparse_gradients
-from repro.nn.loss import bce_with_logits
 from repro.nn.metrics import binary_accuracy, log_loss, roc_auc
 
 
@@ -172,7 +171,10 @@ class HotlineTrainer:
         """
         if self.placement is None:
             raise RuntimeError("learning_phase must run before training")
-        micro = split_minibatch(batch, self.placement.hot_sets)
+        # The placement's HotSetIndex was built once when the learning phase
+        # (or a recalibration) ran, so each step's classification is one
+        # fancy-index per table rather than an np.isin set scan.
+        micro = split_minibatch(batch, self.placement.index)
         self.model.zero_grad()
         total_loss = 0.0
         partial_sparse: list[list[SparseGradient]] = [

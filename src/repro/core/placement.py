@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.hotset import HotSetIndex
+
 
 @dataclass
 class EmbeddingPlacement:
@@ -32,13 +34,14 @@ class EmbeddingPlacement:
     embedding_dim: int
     dtype_bytes: int = 4
     hbm_budget_bytes: float = 512 * 1024 * 1024
+    index: HotSetIndex = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.hot_sets) != len(self.rows_per_table):
             raise ValueError("hot_sets must have one entry per table")
-        for table, (hot, rows) in enumerate(zip(self.hot_sets, self.rows_per_table)):
-            if hot.size and (hot.min() < 0 or hot.max() >= rows):
-                raise ValueError(f"hot set of table {table} references out-of-range rows")
+        # Builds the per-table membership bitmaps once (and validates row
+        # ranges); every later popularity test is a fancy-index against it.
+        self.index = HotSetIndex(self.hot_sets, self.rows_per_table)
 
     @property
     def num_tables(self) -> int:
@@ -76,16 +79,11 @@ class EmbeddingPlacement:
 
     def is_hot(self, table: int, row: int) -> bool:
         """Whether a row lives in the GPU replica."""
-        hot = self.hot_sets[table]
-        return bool(hot.size) and bool(np.isin(row, hot).item())
+        return self.index.is_hot(table, row)
 
     def split_rows(self, table: int, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Split looked-up ``rows`` of one table into (hot, cold) subsets."""
-        hot = self.hot_sets[table]
-        if hot.size == 0:
-            return rows[:0], rows
-        mask = np.isin(rows, hot)
-        return rows[mask], rows[~mask]
+        return self.index.split_rows(table, rows)
 
     def truncate_to_budget(self, access_counts: list[np.ndarray]) -> "EmbeddingPlacement":
         """Return a placement whose hot replica fits the HBM budget.

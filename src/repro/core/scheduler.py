@@ -28,7 +28,7 @@ and times.  The functional (accuracy) counterpart is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.baselines.base import ExecutionModel
 from repro.core.accelerator import HotlineAccelerator

@@ -65,6 +65,6 @@ class MiniBatch:
         false_idx = np.nonzero(~mask)[0]
         return self.select(true_idx), self.select(false_idx)
 
-    def table_indices(self, table: int) -> list[np.ndarray]:
-        """Per-sample index arrays for one table (EmbeddingBag input format)."""
-        return [self.sparse[i, table, :] for i in range(self.size)]
+    def table_block(self, table: int) -> np.ndarray:
+        """The (batch, pooling) lookup block of one table (EmbeddingBag input)."""
+        return self.sparse[:, table, :]

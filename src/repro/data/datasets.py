@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.hwsim.units import GB
 
 
 @dataclass(frozen=True)

@@ -15,11 +15,15 @@ Reproduces the measurements behind Figures 6 and 9 of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.datasets import DatasetSpec
 from repro.data.synthetic import SyntheticClickLog, generate_click_log
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.hotset import HotSetIndex
 
 #: The paper's popularity threshold: an entry is popular if it receives at
 #: least one in every 100,000 embedding accesses.
@@ -57,26 +61,30 @@ def popular_entries(
     return [np.nonzero(counts >= minimum)[0].astype(np.int64) for counts in histograms]
 
 
-def popular_input_mask(sparse: np.ndarray, hot_sets: list[np.ndarray]) -> np.ndarray:
+def popular_input_mask(
+    sparse: np.ndarray, hot_sets: list[np.ndarray] | HotSetIndex
+) -> np.ndarray:
     """Boolean mask of inputs whose *every* lookup is a popular entry.
 
     An input that touches even one non-popular row is non-popular
     (Section I: "If an input accesses even a single non-frequently-accessed
-    embedding, it is classified as a non-popular input").
+    embedding, it is classified as a non-popular input").  ``hot_sets`` may
+    be per-table arrays or a prebuilt
+    :class:`~repro.core.hotset.HotSetIndex`.
     """
-    if sparse.shape[1] != len(hot_sets):
+    # Imported lazily: repro.core's package init reaches back into
+    # repro.data via the models' dataset specs.
+    from repro.core.hotset import as_hot_set_index
+
+    index = as_hot_set_index(hot_sets)
+    if sparse.shape[1] != index.num_tables:
         raise ValueError("hot_sets must have one entry per table")
-    mask = np.ones(sparse.shape[0], dtype=bool)
-    for table, hot in enumerate(hot_sets):
-        if hot.size == 0:
-            mask[:] = False
-            break
-        table_hits = np.isin(sparse[:, table, :], hot).all(axis=1)
-        mask &= table_hits
-    return mask
+    return index.classify(sparse)
 
 
-def popular_input_fraction(sparse: np.ndarray, hot_sets: list[np.ndarray]) -> float:
+def popular_input_fraction(
+    sparse: np.ndarray, hot_sets: list[np.ndarray] | HotSetIndex
+) -> float:
     """Fraction of inputs classified as popular."""
     if sparse.shape[0] == 0:
         return 0.0

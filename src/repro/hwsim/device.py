@@ -9,7 +9,7 @@ Figures 3 and 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hwsim.memory import MemorySpec, DDR4_SERVER, HBM2
 from repro.hwsim.units import GIB

@@ -9,7 +9,7 @@ what Figures 3, 4, 5 and 20 of the paper plot.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 

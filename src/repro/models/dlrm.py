@@ -65,7 +65,7 @@ class DLRM:
             )
         dense_out = self.bottom_mlp.forward(batch.dense)
         sparse_out = [
-            table.forward(batch.table_indices(t)) for t, table in enumerate(self.tables)
+            table.forward(batch.sparse[:, t, :]) for t, table in enumerate(self.tables)
         ]
         interaction, cache = dot_interaction(dense_out, sparse_out)
         self._interaction_cache = cache

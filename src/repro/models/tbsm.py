@@ -65,7 +65,7 @@ class TBSM:
         context = self.attention.forward(dense_out, sequence)
 
         other_outputs = [
-            table.forward(batch.table_indices(t))
+            table.forward(batch.sparse[:, t, :])
             for t, table in enumerate(self.tables)
             if t != 0
         ]

@@ -1,20 +1,31 @@
 """Embedding tables with bag (sum-pooling) lookups and sparse gradients.
 
 Each sparse categorical feature of a recommendation model has one
-EmbeddingBag.  A lookup takes, for every sample in the batch, a (possibly
-multi-hot) list of row indices and returns the pooled (summed) embedding
-vector.  The backward pass produces a *sparse* gradient — one row of
+EmbeddingBag.  A lookup takes the whole mini-batch's ``(batch, pooling)``
+block of row indices and returns the pooled (summed) embedding vector per
+sample.  The backward pass produces a *sparse* gradient — one row of
 gradient per unique accessed index — mirroring how DLRM updates embeddings
 and how Hotline updates rows in place on either the CPU or the GPU copy.
+
+The forward/backward hot path is fully vectorised: a single gather +
+``sum(axis=1)`` forward and one flat ``np.add.at`` scatter backward, the
+way HugeCTR and CacheEmbedding flatten multi-hot lookups into one
+gather + segment-sum.  The loop-based originals are retained as
+``reference_forward`` / ``reference_backward`` so the test-suite can assert
+bit-for-bit parity and the benchmarks can measure the speedup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.nn import init
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.hotset import HotSetIndex
 
 
 @dataclass
@@ -38,9 +49,26 @@ class SparseGradient:
         """Number of rows carrying gradient."""
         return int(self.indices.shape[0])
 
-    def restricted_to(self, allowed: np.ndarray) -> "SparseGradient":
-        """Gradient restricted to rows contained in ``allowed``."""
-        mask = np.isin(self.indices, allowed)
+    def restricted_to(
+        self, allowed: "np.ndarray | HotSetIndex", table: int = 0
+    ) -> "SparseGradient":
+        """Gradient restricted to rows contained in ``allowed``.
+
+        ``allowed`` may be a plain array of row ids or a prebuilt
+        :class:`~repro.core.hotset.HotSetIndex` (with ``table`` selecting the
+        bitmap), which turns the membership test into one fancy-index
+        instead of an ``np.isin`` scan.
+        """
+        from repro.core.hotset import HotSetIndex
+
+        if isinstance(allowed, HotSetIndex):
+            mask = allowed.contains(table, self.indices)
+        else:
+            allowed = np.asarray(allowed)
+            if allowed.size == 0 or self.nnz == 0:
+                mask = np.zeros(self.indices.shape[0], dtype=bool)
+            else:
+                mask = HotSetIndex.from_hot_sets([allowed]).contains(0, self.indices)
         return SparseGradient(self.indices[mask], self.values[mask])
 
 
@@ -54,7 +82,8 @@ def merge_sparse_gradients(grads: list[SparseGradient]) -> SparseGradient:
     non_empty = [grad for grad in grads if grad.nnz]
     if not non_empty:
         dim = grads[0].values.shape[1] if grads else 0
-        return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, dim)))
+        dtype = grads[0].values.dtype if grads else np.float64
+        return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, dim), dtype=dtype))
     all_indices = np.concatenate([grad.indices for grad in non_empty])
     all_values = np.concatenate([grad.values for grad in non_empty], axis=0)
     unique, inverse = np.unique(all_indices, return_inverse=True)
@@ -73,24 +102,33 @@ class EmbeddingBag:
         self.dim = dim
         self.name = name or f"emb_{num_rows}x{dim}"
         self.weight = init.embedding_uniform(num_rows, dim, rng)
-        self._last_indices: list[np.ndarray] | None = None
+        self._last_indices: np.ndarray | None = None
 
-    def forward(self, indices_per_sample: list[np.ndarray]) -> np.ndarray:
+    def forward(self, indices: np.ndarray) -> np.ndarray:
         """Sum-pool the rows selected by each sample.
 
         Args:
-            indices_per_sample: One integer array of row indices per sample.
+            indices: Integer block of shape (batch, pooling) — one row of
+                lookups per sample (``MiniBatch.sparse[:, table, :]``).
+                Pooling may be 0, in which case every pooled vector is zero.
 
         Returns:
             Array of shape (batch, dim) with the pooled embeddings.
         """
-        batch = len(indices_per_sample)
-        out = np.zeros((batch, self.dim), dtype=self.weight.dtype)
-        for i, idx in enumerate(indices_per_sample):
-            if len(idx) == 0:
-                continue
-            out[i] = self.weight[idx].sum(axis=0)
-        self._last_indices = [np.asarray(idx, dtype=np.int64) for idx in indices_per_sample]
+        try:
+            indices = np.asarray(indices, dtype=np.int64)
+        except ValueError as exc:
+            raise ValueError(
+                "indices must be a rectangular (batch, pooling) integer block; "
+                "ragged per-sample lookups are no longer supported"
+            ) from exc
+        if indices.ndim != 2:
+            raise ValueError("indices must be 2-D (batch, pooling)")
+        if indices.size == 0:
+            out = np.zeros((indices.shape[0], self.dim), dtype=self.weight.dtype)
+        else:
+            out = self.weight[indices].sum(axis=1)
+        self._last_indices = indices
         return out
 
     def backward(self, grad_output: np.ndarray) -> SparseGradient:
@@ -98,23 +136,19 @@ class EmbeddingBag:
 
         With sum pooling, every row accessed by sample ``i`` receives
         ``grad_output[i]``; gradients of rows accessed by several samples
-        accumulate.
+        accumulate via one flat scatter-add.
         """
         if self._last_indices is None:
             raise RuntimeError("backward called before forward")
-        if grad_output.shape[0] != len(self._last_indices):
+        if grad_output.shape[0] != self._last_indices.shape[0]:
             raise ValueError("grad_output batch size does not match the last forward batch")
-        all_indices: list[np.ndarray] = []
-        all_grads: list[np.ndarray] = []
-        for i, idx in enumerate(self._last_indices):
-            if len(idx) == 0:
-                continue
-            all_indices.append(idx)
-            all_grads.append(np.repeat(grad_output[i : i + 1], len(idx), axis=0))
-        if not all_indices:
-            return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, self.dim)))
-        flat_indices = np.concatenate(all_indices)
-        flat_grads = np.concatenate(all_grads, axis=0)
+        pooling = self._last_indices.shape[1]
+        flat_indices = self._last_indices.reshape(-1)
+        if flat_indices.size == 0:
+            return SparseGradient(
+                np.empty(0, dtype=np.int64), np.empty((0, self.dim), dtype=grad_output.dtype)
+            )
+        flat_grads = np.repeat(grad_output, pooling, axis=0)
         unique, inverse = np.unique(flat_indices, return_inverse=True)
         values = np.zeros((unique.shape[0], self.dim), dtype=grad_output.dtype)
         np.add.at(values, inverse, flat_grads)
@@ -135,3 +169,49 @@ class EmbeddingBag:
     def num_parameters(self) -> int:
         """Number of scalar parameters in the table."""
         return self.num_rows * self.dim
+
+
+# ---------------------------------------------------------------------- #
+# Reference (loop-based) implementations
+# ---------------------------------------------------------------------- #
+# The pre-vectorisation hot path, kept as the ground truth for the parity
+# test-suite and as the baseline the speedup benchmarks measure against.
+
+
+def reference_forward(weight: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Per-sample Python-loop forward: pool each sample's rows in turn."""
+    indices = np.asarray(indices, dtype=np.int64)
+    batch = indices.shape[0]
+    dim = weight.shape[1]
+    out = np.zeros((batch, dim), dtype=weight.dtype)
+    for i in range(batch):
+        idx = indices[i]
+        if len(idx) == 0:
+            continue
+        out[i] = weight[idx].sum(axis=0)
+    return out
+
+
+def reference_backward(
+    indices: np.ndarray, grad_output: np.ndarray, dim: int
+) -> SparseGradient:
+    """Per-sample Python-loop backward: repeat each sample's gradient row."""
+    indices = np.asarray(indices, dtype=np.int64)
+    all_indices: list[np.ndarray] = []
+    all_grads: list[np.ndarray] = []
+    for i in range(indices.shape[0]):
+        idx = indices[i]
+        if len(idx) == 0:
+            continue
+        all_indices.append(idx)
+        all_grads.append(np.repeat(grad_output[i : i + 1], len(idx), axis=0))
+    if not all_indices:
+        return SparseGradient(
+            np.empty(0, dtype=np.int64), np.empty((0, dim), dtype=grad_output.dtype)
+        )
+    flat_indices = np.concatenate(all_indices)
+    flat_grads = np.concatenate(all_grads, axis=0)
+    unique, inverse = np.unique(flat_indices, return_inverse=True)
+    values = np.zeros((unique.shape[0], dim), dtype=grad_output.dtype)
+    np.add.at(values, inverse, flat_grads)
+    return SparseGradient(unique, values)

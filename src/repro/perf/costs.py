@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.hwsim.cluster import Cluster, single_node
 from repro.hwsim.collectives import allreduce_time, alltoall_time, hierarchical_allreduce_time
-from repro.hwsim.units import MS, US
+from repro.hwsim.units import MS
 from repro.models.configs import ModelConfig
 
 

@@ -1,0 +1,47 @@
+"""Reference (pre-vectorisation) implementations of the training hot path.
+
+These are the per-sample-loop and ``np.isin``-scan originals that the
+batched :class:`~repro.nn.embedding.EmbeddingBag` and the bitmap-based
+:func:`~repro.core.classifier.split_minibatch` replaced.  They are kept —
+deliberately outside the ``core``/``data`` hot-path packages — for two
+jobs:
+
+* the parity test-suite asserts the vectorised paths produce *bit-for-bit*
+  identical outputs to these references (the Eq. 5 equivalence guarantee
+  must survive the optimisation);
+* the speedup benchmarks measure the vectorised paths against them.
+
+Nothing in the training loop may call into this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier import MicroBatches
+from repro.data.batch import MiniBatch
+from repro.nn.embedding import reference_backward, reference_forward
+
+__all__ = [
+    "reference_forward",
+    "reference_backward",
+    "split_minibatch_reference",
+]
+
+
+def split_minibatch_reference(
+    batch: MiniBatch, hot_sets: list[np.ndarray]
+) -> MicroBatches:
+    """The pre-bitmap ``np.isin``-based split, retained as parity ground truth."""
+    if len(hot_sets) != batch.num_tables:
+        raise ValueError(
+            f"expected {batch.num_tables} hot sets (one per table), got {len(hot_sets)}"
+        )
+    mask = np.ones(batch.size, dtype=bool)
+    for table, hot in enumerate(hot_sets):
+        if hot.size == 0:
+            mask[:] = False
+            break
+        mask &= np.isin(batch.sparse[:, table, :], hot).all(axis=1)
+    popular, non_popular = batch.split(mask)
+    return MicroBatches(popular=popular, non_popular=non_popular, popular_mask=mask)

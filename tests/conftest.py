@@ -13,7 +13,7 @@ import pytest
 
 from repro.data import MiniBatchLoader, generate_click_log
 from repro.data.datasets import DatasetSpec
-from repro.models import RM1, RM2, ModelConfig
+from repro.models import RM2, ModelConfig
 from repro.models.dlrm import DLRM
 from repro.models.tbsm import TBSM
 

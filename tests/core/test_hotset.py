@@ -1,0 +1,99 @@
+"""Unit tests for the HotSetIndex membership bitmaps."""
+
+import numpy as np
+import pytest
+
+from repro.core.hotset import HotSetIndex, as_hot_set_index
+
+
+def test_contains_matches_isin():
+    hot = np.array([1, 5, 9])
+    index = HotSetIndex([hot], rows_per_table=(12,))
+    rows = np.array([0, 1, 5, 8, 9, 11])
+    np.testing.assert_array_equal(index.contains(0, rows), np.isin(rows, hot))
+
+
+def test_contains_preserves_input_shape():
+    index = HotSetIndex([np.array([2, 3])])
+    rows = np.array([[2, 0], [3, 3], [1, 2]])
+    result = index.contains(0, rows)
+    assert result.shape == rows.shape
+    assert result.tolist() == [[True, False], [True, True], [False, True]]
+
+
+def test_contains_out_of_range_rows_are_cold():
+    index = HotSetIndex.from_hot_sets([np.array([0, 2])])
+    rows = np.array([2, 3, 100])
+    np.testing.assert_array_equal(index.contains(0, rows), [True, False, False])
+
+
+def test_empty_hot_set_reports_everything_cold():
+    index = HotSetIndex([np.empty(0, dtype=np.int64)], rows_per_table=(8,))
+    rows = np.arange(8)
+    assert not index.contains(0, rows).any()
+    assert index.hot_rows_total == 0
+
+
+def test_is_hot_scalar():
+    index = HotSetIndex([np.array([4])], rows_per_table=(10,))
+    assert index.is_hot(0, 4)
+    assert not index.is_hot(0, 5)
+    assert not index.is_hot(0, 99)
+
+
+def test_split_rows_preserves_order():
+    index = HotSetIndex([np.array([1, 3])], rows_per_table=(6,))
+    rows = np.array([5, 3, 0, 1])
+    hot, cold = index.split_rows(0, rows)
+    assert hot.tolist() == [3, 1]
+    assert cold.tolist() == [5, 0]
+
+
+def test_classify_requires_matching_table_count():
+    index = HotSetIndex([np.array([0])], rows_per_table=(4,))
+    with pytest.raises(ValueError):
+        index.classify(np.zeros((2, 2, 1), dtype=np.int64))
+
+
+def test_classify_all_lookups_must_hit():
+    index = HotSetIndex([np.array([0, 1]), np.array([2])], rows_per_table=(4, 4))
+    sparse = np.array(
+        [
+            [[0, 1], [2, 2]],  # popular: every lookup hot
+            [[0, 3], [2, 2]],  # row 3 of table 0 is cold
+            [[1, 1], [2, 0]],  # row 0 of table 1 is cold
+        ]
+    )
+    np.testing.assert_array_equal(index.classify(sparse), [True, False, False])
+
+
+def test_classify_empty_hot_set_masks_everything():
+    index = HotSetIndex([np.array([0]), np.empty(0, dtype=np.int64)])
+    sparse = np.zeros((3, 2, 2), dtype=np.int64)
+    assert not index.classify(sparse).any()
+
+
+def test_out_of_range_hot_rows_rejected_with_table_sizes():
+    with pytest.raises(ValueError):
+        HotSetIndex([np.array([10])], rows_per_table=(10,))
+    with pytest.raises(ValueError):
+        HotSetIndex([np.array([-1])], rows_per_table=(10,))
+
+
+def test_negative_hot_rows_rejected_without_table_sizes():
+    """Regression: -2 must not wrap around and mark bitmap[size-2] hot."""
+    with pytest.raises(ValueError):
+        HotSetIndex.from_hot_sets([np.array([-2, 5])])
+
+
+def test_rows_per_table_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        HotSetIndex([np.array([0])], rows_per_table=(4, 4))
+
+
+def test_as_hot_set_index_passthrough_and_coercion():
+    index = HotSetIndex([np.array([1])])
+    assert as_hot_set_index(index) is index
+    coerced = as_hot_set_index([np.array([1])])
+    assert isinstance(coerced, HotSetIndex)
+    assert coerced.is_hot(0, 1)

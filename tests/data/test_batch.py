@@ -55,8 +55,8 @@ def test_split_wrong_mask_length_raises():
         batch.split(np.array([True, False]))
 
 
-def test_table_indices_format():
+def test_table_block_format():
     batch = make_batch(n=3, tables=2, pooling=2)
-    per_sample = batch.table_indices(1)
-    assert len(per_sample) == 3
-    np.testing.assert_array_equal(per_sample[0], batch.sparse[0, 1, :])
+    block = batch.table_block(1)
+    assert block.shape == (3, 2)
+    np.testing.assert_array_equal(block, batch.sparse[:, 1, :])

@@ -1,6 +1,6 @@
 """Unit tests for the node/cluster topology."""
 
-from repro.hwsim.cluster import Cluster, Node, multi_node, single_node
+from repro.hwsim.cluster import Node, multi_node, single_node
 from repro.hwsim.units import GIB
 
 

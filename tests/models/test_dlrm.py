@@ -5,9 +5,7 @@ import pytest
 
 from repro.data.loader import MiniBatchLoader
 from repro.models.dlrm import DLRM
-from repro.models.configs import ModelConfig
 from repro.nn.metrics import roc_auc
-from tests.conftest import TINY_DATASET
 
 
 def test_forward_shape(tiny_dlrm, tiny_click_log):

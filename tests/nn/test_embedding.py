@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.hotset import HotSetIndex
 from repro.nn.embedding import EmbeddingBag, SparseGradient, merge_sparse_gradients
 
 
@@ -12,22 +13,36 @@ def make_bag(rows=16, dim=4, seed=0):
 
 def test_forward_sums_selected_rows():
     bag = make_bag()
-    indices = [np.array([0, 1]), np.array([2])]
+    indices = np.array([[0, 1], [2, 3]])
     out = bag.forward(indices)
     np.testing.assert_allclose(out[0], bag.weight[0] + bag.weight[1])
-    np.testing.assert_allclose(out[1], bag.weight[2])
+    np.testing.assert_allclose(out[1], bag.weight[2] + bag.weight[3])
 
 
-def test_forward_empty_lookup_is_zero():
+def test_forward_zero_pooling_is_zero():
     bag = make_bag()
-    out = bag.forward([np.array([], dtype=np.int64), np.array([3])])
-    np.testing.assert_allclose(out[0], np.zeros(bag.dim))
+    out = bag.forward(np.empty((2, 0), dtype=np.int64))
+    assert out.shape == (2, bag.dim)
+    np.testing.assert_allclose(out, np.zeros((2, bag.dim)))
+
+
+def test_forward_empty_batch():
+    bag = make_bag()
+    out = bag.forward(np.empty((0, 3), dtype=np.int64))
+    assert out.shape == (0, bag.dim)
+    grad = bag.backward(np.empty((0, bag.dim)))
+    assert grad.nnz == 0
+
+
+def test_forward_rejects_ragged_or_flat_input():
+    bag = make_bag()
+    with pytest.raises(ValueError):
+        bag.forward(np.array([0, 1, 2]))
 
 
 def test_backward_accumulates_shared_rows():
     bag = make_bag()
-    indices = [np.array([5]), np.array([5])]
-    bag.forward(indices)
+    bag.forward(np.array([[5], [5]]))
     grad = bag.backward(np.ones((2, bag.dim)))
     assert grad.nnz == 1
     np.testing.assert_allclose(grad.values[0], 2.0 * np.ones(bag.dim))
@@ -35,7 +50,7 @@ def test_backward_accumulates_shared_rows():
 
 def test_backward_multi_hot_repeats_gradient():
     bag = make_bag()
-    bag.forward([np.array([1, 2, 3])])
+    bag.forward(np.array([[1, 2, 3]]))
     grad = bag.backward(np.full((1, bag.dim), 3.0))
     assert set(grad.indices.tolist()) == {1, 2, 3}
     for row in grad.values:
@@ -50,9 +65,16 @@ def test_backward_before_forward_raises():
 
 def test_backward_batch_mismatch_raises():
     bag = make_bag()
-    bag.forward([np.array([0])])
+    bag.forward(np.array([[0]]))
     with pytest.raises(ValueError):
         bag.backward(np.ones((2, bag.dim)))
+
+
+def test_backward_preserves_grad_dtype():
+    bag = make_bag()
+    bag.forward(np.array([[1, 2]]))
+    grad = bag.backward(np.ones((1, bag.dim), dtype=np.float32))
+    assert grad.values.dtype == np.float32
 
 
 def test_apply_sparse_update_only_touches_selected_rows():
@@ -76,6 +98,21 @@ def test_sparse_gradient_restricted_to():
     assert restricted.indices.tolist() == [2, 3]
 
 
+def test_sparse_gradient_restricted_to_empty_allowed():
+    grad = SparseGradient(np.array([1, 2, 3]), np.ones((3, 4), dtype=np.float32))
+    restricted = grad.restricted_to(np.empty(0, dtype=np.int64))
+    assert restricted.nnz == 0
+    assert restricted.values.dtype == np.float32
+
+
+def test_sparse_gradient_restricted_to_hot_set_index():
+    grad = SparseGradient(np.array([1, 2, 3]), np.arange(12, dtype=float).reshape(3, 4))
+    index = HotSetIndex([np.array([9]), np.array([2, 3])])
+    restricted = grad.restricted_to(index, table=1)
+    assert restricted.indices.tolist() == [2, 3]
+    np.testing.assert_array_equal(restricted.values, grad.values[1:])
+
+
 def test_merge_sparse_gradients_adds_overlapping_rows():
     a = SparseGradient(np.array([1, 2]), np.ones((2, 3)))
     b = SparseGradient(np.array([2, 4]), 2.0 * np.ones((2, 3)))
@@ -88,6 +125,15 @@ def test_merge_sparse_gradients_all_empty():
     empty = SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 3)))
     merged = merge_sparse_gradients([empty, empty])
     assert merged.nnz == 0
+
+
+def test_merge_sparse_gradients_empty_preserves_dtype():
+    """Regression: the empty case used to hardcode float64 values."""
+    empty = SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 3), dtype=np.float32))
+    merged = merge_sparse_gradients([empty, empty])
+    assert merged.nnz == 0
+    assert merged.values.dtype == np.float32
+    assert merged.values.shape == (0, 3)
 
 
 def test_rows_bytes_and_parameter_count():

@@ -1,6 +1,5 @@
 """Property-based tests of the Embedding Access Logger and Feistel randomizer."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
