@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
+from repro.hwsim import multi_node, single_node
 from repro.models import RM1, RM2, RM3, RM4
 from repro.perf import TrainingCostModel
-from repro.hwsim import multi_node, single_node
 
 #: The four real-world workloads in the order the paper's figures use.
 WORKLOADS = [

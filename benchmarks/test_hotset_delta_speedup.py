@@ -1,0 +1,97 @@
+"""Micro-benchmark: incremental HotSetIndex updates vs full rebuilds.
+
+Recalibration used to rebuild every per-table membership bitmap from
+scratch, a cost that grows with the *table* size (allocate + repopulate +
+re-fault the whole bitmap).  The delta path
+(:meth:`~repro.core.hotset.HotSetIndex.replace_table`) computes the drifted
+rows in O(hot-set) work and flips only those bits, so its cost is
+independent of the table size.  This benchmark pins the hot-set size and
+grows the table 10x: the rebuild path's cost scales with the table, the
+delta path's stays flat, and at Criteo-Terabyte-order tables the delta
+path wins outright — which is what keeps the paper's twice-per-epoch
+recalibration cadence cheap.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.hotset import HotSetIndex
+
+#: EAL-capacity-order tracked hot rows (fixed across table sizes).
+HOT_ROWS = 50_000
+
+#: Fraction of the hot set that drifts between recalibrations.
+DRIFT = 0.05
+
+#: Small / large table sizes (the large one is Criteo-Terabyte order).
+SMALL_TABLE = 4_000_000
+LARGE_TABLE = 40_000_000
+
+#: Classification probe issued after each update so both paths pay the
+#: first-use page-fault cost of the bitmap they produce.
+PROBE_LOOKUPS = 50_000
+
+ROUNDS = 5
+
+
+def drifted_hot_sets(rows_per_table):
+    rng = np.random.default_rng(7)
+    old_hot = np.sort(rng.choice(rows_per_table, size=HOT_ROWS, replace=False))
+    keep = rng.random(HOT_ROWS) >= DRIFT
+    fresh = rng.choice(rows_per_table, size=int(HOT_ROWS * DRIFT), replace=False)
+    return old_hot, np.union1d(old_hot[keep], fresh)
+
+
+def time_paths(rows_per_table):
+    """(rebuild seconds, delta seconds) per recalibration at one table size."""
+    old_hot, new_hot = drifted_hot_sets(rows_per_table)
+    probe = np.random.default_rng(3).integers(0, rows_per_table, size=PROBE_LOOKUPS)
+    rebuild = delta = 0.0
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        rebuilt = HotSetIndex([new_hot], rows_per_table=(rows_per_table,))
+        rebuilt.contains(0, probe)
+        rebuild += time.perf_counter() - start
+
+        index = HotSetIndex([old_hot], rows_per_table=(rows_per_table,))
+        index.contains(0, probe)  # warm, as a live placement's bitmap would be
+        start = time.perf_counter()
+        index.replace_table(0, new_hot)
+        index.contains(0, probe)
+        delta += time.perf_counter() - start
+    return rebuild / ROUNDS, delta / ROUNDS
+
+
+def test_delta_update_is_table_size_independent(benchmark):
+    small = time_paths(SMALL_TABLE)
+    (rebuild_large, delta_large) = benchmark.pedantic(
+        lambda: time_paths(LARGE_TABLE), rounds=1, iterations=1
+    )
+    rebuild_small, delta_small = small
+    print()
+    for label, (rebuild_s, delta_s) in (
+        (f"{SMALL_TABLE:,} rows", small),
+        (f"{LARGE_TABLE:,} rows", (rebuild_large, delta_large)),
+    ):
+        print(
+            f"  {label}: rebuild {rebuild_s * 1e3:.2f} ms, "
+            f"delta {delta_s * 1e3:.2f} ms ({rebuild_s / delta_s:.1f}x)"
+        )
+    # Rebuild cost tracks the table size (10x more rows here)...
+    assert rebuild_large / rebuild_small > 3.0
+    # ...while the delta path's O(hot-set) cost stays essentially flat...
+    assert delta_large / delta_small < 3.0
+    # ...so at Criteo-Terabyte order the delta path wins outright.
+    assert rebuild_large / delta_large > 2.0
+
+
+def test_delta_update_matches_rebuild_state():
+    old_hot, new_hot = drifted_hot_sets(SMALL_TABLE)
+    index = HotSetIndex([old_hot], rows_per_table=(SMALL_TABLE,))
+    added, removed = index.replace_table(0, new_hot)
+    rebuilt = HotSetIndex([new_hot], rows_per_table=(SMALL_TABLE,))
+    probe = np.random.default_rng(3).integers(0, SMALL_TABLE, size=8192)
+    np.testing.assert_array_equal(index.contains(0, probe), rebuilt.contains(0, probe))
+    np.testing.assert_array_equal(np.sort(added), np.setdiff1d(new_hot, old_hot))
+    np.testing.assert_array_equal(np.sort(removed), np.setdiff1d(old_hot, new_hot))

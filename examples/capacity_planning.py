@@ -16,9 +16,9 @@ from __future__ import annotations
 from repro.analysis.report import format_table
 from repro.baselines import HugeCTRGPUOnly, HybridCPUGPU, OutOfMemoryError
 from repro.core import HotlineScheduler
+from repro.hwsim import single_node
 from repro.models import PAPER_MODELS
 from repro.perf import TrainingCostModel
-from repro.hwsim import single_node
 
 BATCH_PER_GPU = 1024
 MODELS = ["RM1", "RM2", "RM3", "RM4", "SYN-M1", "SYN-M2"]

@@ -21,10 +21,10 @@ from repro.core.accelerator import HotlineAccelerator
 from repro.core.eal import EALConfig
 from repro.core.pipeline import ReferenceTrainer
 from repro.data import MiniBatchLoader, generate_click_log
+from repro.hwsim import single_node
 from repro.models import RM2
 from repro.models.dlrm import DLRM
 from repro.perf import TrainingCostModel
-from repro.hwsim import single_node
 
 
 def main() -> None:

@@ -8,9 +8,9 @@
   the benchmark harness to print the rows each figure plots.
 """
 
-from repro.analysis.breakdown import BREAKDOWN_CATEGORIES, normalised_breakdown, merge_breakdowns
-from repro.analysis.roofline import embedding_lookup_roofline, RooflinePoint
-from repro.analysis.report import format_table, format_series, format_breakdown
+from repro.analysis.breakdown import BREAKDOWN_CATEGORIES, merge_breakdowns, normalised_breakdown
+from repro.analysis.report import format_breakdown, format_series, format_table
+from repro.analysis.roofline import RooflinePoint, embedding_lookup_roofline
 
 __all__ = [
     "BREAKDOWN_CATEGORIES",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hwsim.device import GPUSpec, CPUSpec, TESLA_V100, XEON_SILVER_4116
+from repro.hwsim.device import TESLA_V100, XEON_SILVER_4116, CPUSpec, GPUSpec
 from repro.models.configs import ModelConfig
 
 

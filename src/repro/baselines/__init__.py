@@ -24,12 +24,12 @@ The functional (accuracy) baseline is simply ``DLRM.train_step`` /
 """
 
 from repro.baselines.base import ExecutionModel, OutOfMemoryError
-from repro.baselines.hybrid import HybridCPUGPU
-from repro.baselines.xdl import XDLParameterServer
 from repro.baselines.fae import FAE
-from repro.baselines.hugectr import HugeCTRGPUOnly
-from repro.baselines.scratchpipe import ScratchPipeIdeal
 from repro.baselines.hotline_cpu import HotlineCPU
+from repro.baselines.hugectr import HugeCTRGPUOnly
+from repro.baselines.hybrid import HybridCPUGPU
+from repro.baselines.scratchpipe import ScratchPipeIdeal
+from repro.baselines.xdl import XDLParameterServer
 
 __all__ = [
     "ExecutionModel",

@@ -43,6 +43,17 @@ class ExecutionModel(abc.ABC):
         """Wall-clock seconds of one training iteration."""
         return self.step_timeline(batch_size).makespan()
 
+    def collective_time(self) -> float:
+        """Per-iteration dense-gradient synchronisation time.
+
+        The training engine uses this hook to carve the collective term out
+        of :meth:`step_time`, so functional runs report a compute vs
+        communication split consistent with :mod:`repro.hwsim.collectives`.
+        Modes with a different synchronisation scheme (e.g. parameter
+        servers) may override it.
+        """
+        return self.costs.dense_allreduce_time()
+
     def epoch_time(self, batch_size: int) -> float:
         """Wall-clock seconds for one epoch of the model's dataset."""
         steps = max(1, self.costs.model.dataset.samples_per_epoch // batch_size)

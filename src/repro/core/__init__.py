@@ -21,12 +21,27 @@ This package implements the paper's contribution:
 * :mod:`repro.core.scheduler` — the layout-aware pipeline scheduler that
   overlaps non-popular parameter gathering with popular µ-batch execution
   (Figure 12).
-* :mod:`repro.core.pipeline` — the end-to-end Hotline trainer (learning
-  phase + acceleration phase) producing both functional training results
-  and simulated wall-clock time.
+* :mod:`repro.core.engine` — the pluggable training engine: one train loop
+  (epochs, eval cadence, recalibration schedule, prefetching, result
+  recording) shared by every functional trainer via step executors.
+* :mod:`repro.core.pipeline` — the single-replica executors: the baseline
+  :class:`~repro.core.pipeline.ReferenceTrainer` and the Hotline
+  :class:`~repro.core.pipeline.HotlineTrainer` (learning phase +
+  acceleration phase).
+* :mod:`repro.core.distributed` — functional data-parallel sharding:
+  :class:`~repro.core.distributed.ShardedHotlineTrainer` trains K shards
+  with per-shard EAL placements and simulated all-reduce time from
+  :mod:`repro.hwsim.collectives`.
 """
 
-from repro.core.hotset import HotSetIndex, as_hot_set_index
+from repro.core.accelerator import (
+    HOTLINE_ACCELERATOR_SPEC,
+    AcceleratorSpec,
+    HotlineAccelerator,
+)
+from repro.core.classifier import MicroBatches, split_minibatch
+from repro.core.dispatcher import AddressRegisters, DataDispatcher, InputEDRAM
+from repro.core.distributed import ShardedHotlineTrainer, ShardReplica
 from repro.core.eal import (
     EALConfig,
     EmbeddingAccessLogger,
@@ -34,15 +49,21 @@ from repro.core.eal import (
     expected_parallel_requests,
     simulate_parallel_requests,
 )
+from repro.core.engine import (
+    StepExecutor,
+    StepOutcome,
+    TrainingEngine,
+    TrainingResult,
+    evaluate,
+    recalibration_points,
+)
+from repro.core.hotset import HotSetIndex, as_hot_set_index
+from repro.core.isa import AcceleratorInterpreter, Instruction, InstructionDriver, Opcode
 from repro.core.lookup_engine import FeistelRandomizer, LookupEngine, LookupEngineArray
-from repro.core.dispatcher import AddressRegisters, DataDispatcher, InputEDRAM
-from repro.core.reducer import Reducer
-from repro.core.isa import Opcode, Instruction, InstructionDriver, AcceleratorInterpreter
-from repro.core.classifier import MicroBatches, split_minibatch
+from repro.core.pipeline import HotlineTrainer, ReferenceTrainer
 from repro.core.placement import EmbeddingPlacement
-from repro.core.accelerator import AcceleratorSpec, HotlineAccelerator, HOTLINE_ACCELERATOR_SPEC
-from repro.core.scheduler import HotlineStepPlan, HotlineScheduler
-from repro.core.pipeline import HotlineTrainer, TrainingResult
+from repro.core.reducer import Reducer
+from repro.core.scheduler import HotlineScheduler, HotlineStepPlan
 
 __all__ = [
     "HotSetIndex",
@@ -71,6 +92,14 @@ __all__ = [
     "HOTLINE_ACCELERATOR_SPEC",
     "HotlineStepPlan",
     "HotlineScheduler",
-    "HotlineTrainer",
+    "StepExecutor",
+    "StepOutcome",
+    "TrainingEngine",
     "TrainingResult",
+    "evaluate",
+    "recalibration_points",
+    "ReferenceTrainer",
+    "HotlineTrainer",
+    "ShardedHotlineTrainer",
+    "ShardReplica",
 ]

@@ -28,7 +28,7 @@ from repro.core.lookup_engine import LookupEngineArray
 from repro.core.reducer import Reducer
 from repro.hwsim.dma import DMAEngine
 from repro.hwsim.energy import HOTLINE_ENERGY_MODEL, AcceleratorEnergyModel
-from repro.hwsim.interconnect import Link, PCIE_GEN3_X16
+from repro.hwsim.interconnect import PCIE_GEN3_X16, Link
 from repro.hwsim.units import MIB
 
 

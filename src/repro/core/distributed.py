@@ -1,0 +1,277 @@
+"""Functional data-parallel (K-shard) Hotline training.
+
+The paper's multi-node results (Figure 30) were originally backed only by
+the :mod:`repro.hwsim.cluster` timing model — a single replica trained the
+model while the cluster math predicted scaling.  This module makes the
+scaling *functional*: :class:`ShardedHotlineTrainer` splits every
+mini-batch into K contiguous shards (one per logical GPU), runs the full
+Hotline schedule per shard — µ-batch classification against that shard's
+own EAL-derived :class:`~repro.core.placement.EmbeddingPlacement`, then
+``loss_and_gradients`` per µ-batch — and synchronises exactly the way a
+data-parallel cluster would:
+
+* **dense gradients** are all-reduced (functionally: summed into the shared
+  replica, since every replica applies the same update);
+* **sparse gradients** are merged per table with
+  :func:`~repro.nn.embedding.merge_sparse_gradients`, the same accumulation
+  a parameter-less embedding all-reduce performs.
+
+Because every µ-batch of every shard is normalised by the *global*
+mini-batch size, the accumulated K-shard update is numerically equivalent
+to the single-replica update (Eq. 5 extended across shards; verified by the
+test-suite for K ∈ {1, 2, 4} on DLRM and TBSM).
+
+Simulated time is wired through :mod:`repro.hwsim.collectives`: per-shard
+compute comes from the perf model evaluated at the shard's batch size, and
+the dense synchronisation term uses
+:func:`~repro.hwsim.collectives.allreduce_time` (single node) or
+:func:`~repro.hwsim.collectives.hierarchical_allreduce_time` (multi-node),
+so Figure 30's scaling curve can be regenerated from a run that actually
+trains the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ExecutionModel
+from repro.core.accelerator import HotlineAccelerator
+from repro.core.classifier import split_minibatch
+from repro.core.engine import StepExecutor, StepOutcome, TrainingEngine, TrainingResult
+from repro.core.placement import EmbeddingPlacement
+from repro.data.batch import MiniBatch
+from repro.data.loader import MiniBatchLoader
+from repro.hwsim.cluster import Cluster, single_node
+from repro.hwsim.collectives import allreduce_time, hierarchical_allreduce_time
+from repro.nn.embedding import SparseGradient, merge_sparse_gradients
+
+
+@dataclass
+class ShardReplica:
+    """One logical data-parallel replica: its accelerator and placement.
+
+    Attributes:
+        accelerator: The shard's Hotline accelerator (its own EAL).
+        placement: The shard's EAL-derived embedding placement, built by the
+            learning phase.
+    """
+
+    accelerator: HotlineAccelerator
+    placement: EmbeddingPlacement | None = None
+
+
+class ShardedHotlineTrainer(StepExecutor):
+    """Hotline training data-parallelised over K logical shards.
+
+    Args:
+        model: The shared model replica (functionally, all K replicas —
+            identical updates keep them bit-identical, so one instance
+            stands in for all).
+        num_shards: Number of data-parallel shards (one per logical GPU).
+        cluster: Hardware topology the shards map onto, one shard per GPU;
+            defaults to a single node with ``num_shards`` GPUs.  Drives the
+            simulated all-reduce term.
+        lr: SGD learning rate.
+        sample_fraction: Learning-phase sampling fraction per shard.
+        hbm_budget_bytes: Per-GPU budget for each shard's hot replica.
+        perf_model: Optional execution model pricing per-shard compute.
+        seed: Base seed; shard k's accelerator is seeded ``seed + k`` so
+            the per-shard EALs track their own access streams.
+    """
+
+    def __init__(
+        self,
+        model,
+        num_shards: int,
+        *,
+        cluster: Cluster | None = None,
+        lr: float = 0.05,
+        sample_fraction: float = 0.05,
+        hbm_budget_bytes: float = 512 * 1024 * 1024,
+        perf_model: ExecutionModel | None = None,
+        seed: int = 0,
+    ):
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.model = model
+        self.num_shards = num_shards
+        self.cluster = cluster or single_node(num_shards)
+        if self.cluster.total_gpus != num_shards:
+            raise ValueError(
+                f"cluster has {self.cluster.total_gpus} GPUs but {num_shards} shards "
+                "were requested (one shard per GPU)"
+            )
+        self.lr = lr
+        self.sample_fraction = sample_fraction
+        self.hbm_budget_bytes = hbm_budget_bytes
+        self.perf_model = perf_model
+        row_bytes = model.config.embedding_dim * model.config.dtype_bytes
+        self.replicas: list[ShardReplica] = [
+            ShardReplica(accelerator=HotlineAccelerator(row_bytes=row_bytes, seed=seed + k))
+            for k in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Learning phase (per shard)
+    # ------------------------------------------------------------------ #
+    def learning_phase(self, loader: MiniBatchLoader, seed: int = 0) -> list[EmbeddingPlacement]:
+        """Profile each shard's slice of the sampled batches into its EAL.
+
+        Every shard sees only its own contiguous slice of each sampled
+        mini-batch — the same data it will train on — so its placement
+        tracks the skew of *its* partition, exactly as a per-node EAL would.
+        """
+        sampled = loader.sample_batches(self.sample_fraction, seed=seed)
+        for batch in sampled:
+            for shard_batch, replica in zip(batch.shards(self.num_shards), self.replicas):
+                if shard_batch.size:
+                    replica.accelerator.learn_from_batch(shard_batch.sparse)
+        config = self.model.config
+        num_tables = config.num_sparse_features
+        for replica in self.replicas:
+            hot_sets = replica.accelerator.hot_sets(num_tables)
+            if replica.placement is None:
+                replica.placement = EmbeddingPlacement(
+                    hot_sets=hot_sets,
+                    rows_per_table=config.dataset.rows_per_table,
+                    embedding_dim=config.embedding_dim,
+                    dtype_bytes=config.dtype_bytes,
+                    hbm_budget_bytes=self.hbm_budget_bytes,
+                )
+            else:
+                replica.placement.update_hot_sets(hot_sets)
+        return [replica.placement for replica in self.replicas]
+
+    def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> None:
+        """Re-enter the learning phase on every shard's EAL."""
+        for replica in self.replicas:
+            replica.accelerator.recalibrate()
+        self.learning_phase(loader, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Acceleration phase
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: MiniBatch) -> tuple[float, float]:
+        """One data-parallel step over the K shards of ``batch``.
+
+        Each shard classifies its slice against its own placement and
+        accumulates gradients from its µ-batches; dense gradients all-reduce
+        by accumulation in the shared replica, per-table sparse gradients
+        merge across shards, and the update applies once — numerically
+        equivalent to the single-replica step (Eq. 5 across shards).
+
+        Returns:
+            ``(loss, popular_fraction)`` summed / averaged over the batch.
+        """
+        if any(replica.placement is None for replica in self.replicas):
+            raise RuntimeError("learning_phase must run before training")
+        self.model.zero_grad()
+        total_loss = 0.0
+        popular_size = 0
+        partial_sparse: list[list[SparseGradient]] = [
+            [] for _ in range(self.model.config.num_sparse_features)
+        ]
+        for shard_batch, replica in zip(batch.shards(self.num_shards), self.replicas):
+            if shard_batch.size == 0:
+                continue
+            micro = split_minibatch(shard_batch, replica.placement.index)
+            popular_size += micro.popular.size
+            for micro_batch in (micro.popular, micro.non_popular):
+                if micro_batch.size == 0:
+                    continue
+                # Global-batch normalisation keeps the accumulated K-shard
+                # update identical to the single-replica one (Eq. 5).
+                loss, sparse_grads = self.model.loss_and_gradients(
+                    micro_batch, normalizer=batch.size
+                )
+                total_loss += loss
+                for table, grad in enumerate(sparse_grads):
+                    partial_sparse[table].append(grad)
+        merged = [merge_sparse_gradients(grads) for grads in partial_sparse]
+        self.model.apply_dense_update(self.lr)
+        self.model.apply_sparse_updates(merged, self.lr)
+        popular_fraction = popular_size / batch.size if batch.size else 0.0
+        return total_loss, popular_fraction
+
+    # ------------------------------------------------------------------ #
+    # Simulated timing
+    # ------------------------------------------------------------------ #
+    def dense_sync_time(self) -> float:
+        """Simulated dense-gradient all-reduce across the K shards.
+
+        Ring all-reduce over the intra-node GPU link for a single node;
+        hierarchical (intra-ring then inter-ring) when the cluster spans
+        nodes — the :mod:`repro.hwsim.collectives` terms Figure 30's scaling
+        shape comes from.
+        """
+        if self.num_shards <= 1:
+            return 0.0
+        # fp32 dense gradients, matching the 4-byte convention of
+        # TrainingCostModel.dense_allreduce_time (dtype_bytes describes the
+        # embedding rows, not the synchronised dense gradients).
+        grad_bytes = self.model.num_dense_parameters * 4.0
+        node = self.cluster.node
+        if self.cluster.num_nodes == 1:
+            return allreduce_time(grad_bytes, self.num_shards, node.gpu_link)
+        return hierarchical_allreduce_time(
+            grad_bytes,
+            node.num_gpus,
+            self.cluster.num_nodes,
+            node.gpu_link,
+            self.cluster.inter_link,
+        )
+
+    def shard_compute_time(self, batch_size: int) -> float:
+        """Simulated compute time of one data-parallel step, sans collective.
+
+        The perf model's cost layer already apportions a *global* batch
+        across the cluster's GPUs (one shard each here), so it receives the
+        full mini-batch size; dividing by ``num_shards`` first would charge
+        each GPU for ``batch/K²`` samples.  The collective term is carved
+        out because the engine accounts it separately via
+        :meth:`dense_sync_time`.
+        """
+        if self.perf_model is None:
+            return 0.0
+        # Same arithmetic as StepExecutor.timed_outcome's split
+        # (step - min(step, collective) == max(0, step - collective)); the
+        # comm term reported alongside comes from dense_sync_time, which
+        # prices this trainer's own cluster topology.
+        step_time = self.perf_model.step_time(batch_size)
+        return max(0.0, step_time - self.perf_model.collective_time())
+
+    # ------------------------------------------------------------------ #
+    # StepExecutor interface
+    # ------------------------------------------------------------------ #
+    def bind(self, loader: MiniBatchLoader) -> None:
+        """Run the per-shard learning phase if any shard lacks a placement."""
+        if any(replica.placement is None for replica in self.replicas):
+            self.learning_phase(loader)
+
+    def run_step(self, batch: MiniBatch) -> StepOutcome:
+        """One sharded step reported to the engine with its comm term."""
+        loss, popular_fraction = self.train_step(batch)
+        return StepOutcome(
+            loss=loss,
+            popular_fraction=popular_fraction,
+            compute_time_s=self.shard_compute_time(batch.size),
+            communication_time_s=self.dense_sync_time(),
+        )
+
+    def train(
+        self,
+        loader: MiniBatchLoader,
+        *,
+        epochs: int = 1,
+        eval_batch: MiniBatch | None = None,
+        eval_every: int = 0,
+        recalibrations_per_epoch: int = 0,
+    ) -> TrainingResult:
+        """Train for ``epochs`` epochs with the sharded Hotline schedule."""
+        return TrainingEngine(self).train(
+            loader,
+            epochs=epochs,
+            eval_batch=eval_batch,
+            eval_every=eval_every,
+            recalibrations_per_epoch=recalibrations_per_epoch,
+        )

@@ -1,0 +1,237 @@
+"""The pluggable training engine shared by every functional trainer.
+
+Baseline, Hotline, and sharded-Hotline training all perform the same outer
+loop: iterate mini-batches for some number of epochs, occasionally
+re-calibrate the hot-set placement, record per-iteration losses, evaluate on
+a held-out batch at a fixed cadence, and accumulate the simulated wall-clock
+time of the schedule.  What differs between them is only what happens
+*inside* one step.
+
+This module factors that split explicitly:
+
+* :class:`StepExecutor` — the per-step strategy.  An executor knows how to
+  prepare itself for a loader (e.g. run Hotline's learning phase), execute
+  one mini-batch step, and react to a recalibration point.  Each step
+  returns a :class:`StepOutcome` carrying the loss plus optional popularity
+  and simulated-time observations.
+* :class:`TrainingEngine` — the loop.  It owns epochs, the eval cadence,
+  the recalibration schedule, loader prefetching (enabled by default so
+  batch assembly overlaps the training step), and
+  :class:`TrainingResult` recording.
+
+:class:`~repro.core.pipeline.ReferenceTrainer`,
+:class:`~repro.core.pipeline.HotlineTrainer`, and
+:class:`~repro.core.distributed.ShardedHotlineTrainer` are all thin
+executors over this one loop, so their recorded results are directly
+comparable — which is what makes the Eq. 5 equivalence suite (baseline vs
+Hotline vs K-shard Hotline) meaningful.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.batch import MiniBatch
+from repro.data.loader import MiniBatchLoader
+from repro.nn.metrics import binary_accuracy, log_loss, roc_auc
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run (baseline, Hotline, or sharded Hotline).
+
+    Attributes:
+        losses: Per-iteration training loss (sum-reduced BCE).
+        auc_history: (iteration, validation AUC) pairs.
+        popular_fractions: Per-iteration popular µ-batch fraction (Hotline
+            runs only; empty for the baseline).
+        simulated_time_s: Simulated wall-clock time of the schedule
+            (compute + communication).
+        compute_time_s: Simulated per-replica compute portion.
+        communication_time_s: Simulated collective-communication portion
+            (dense-gradient all-reduce; zero for single-replica runs whose
+            perf model reports no collective).
+        final_metrics: Final validation accuracy / AUC / log-loss.
+    """
+
+    losses: list[float] = field(default_factory=list)
+    auc_history: list[tuple[int, float]] = field(default_factory=list)
+    popular_fractions: list[float] = field(default_factory=list)
+    simulated_time_s: float = 0.0
+    compute_time_s: float = 0.0
+    communication_time_s: float = 0.0
+    final_metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def iterations(self) -> int:
+        """Number of training iterations performed."""
+        return len(self.losses)
+
+    @property
+    def mean_popular_fraction(self) -> float:
+        """Average popular-input fraction across the run."""
+        if not self.popular_fractions:
+            return 0.0
+        return float(np.mean(self.popular_fractions))
+
+
+def evaluate(model, batch: MiniBatch) -> dict[str, float]:
+    """Validation accuracy, AUC, and log-loss of ``model`` on ``batch``."""
+    probabilities = model.predict(batch)
+    return {
+        "accuracy": binary_accuracy(batch.labels, probabilities),
+        "auc": roc_auc(batch.labels, probabilities),
+        "logloss": log_loss(batch.labels, probabilities),
+    }
+
+
+@dataclass
+class StepOutcome:
+    """Observations from one executed training step.
+
+    Attributes:
+        loss: Sum-reduced training loss of the mini-batch.
+        popular_fraction: Popular µ-batch fraction, or ``None`` when the
+            executor does not fragment (the baseline).
+        compute_time_s: Simulated per-replica compute time of the step.
+        communication_time_s: Simulated collective time of the step.
+    """
+
+    loss: float
+    popular_fraction: float | None = None
+    compute_time_s: float = 0.0
+    communication_time_s: float = 0.0
+
+    @property
+    def step_time_s(self) -> float:
+        """Total simulated time of the step."""
+        return self.compute_time_s + self.communication_time_s
+
+
+class StepExecutor(abc.ABC):
+    """Per-step strategy plugged into the :class:`TrainingEngine` loop.
+
+    Subclasses must expose a ``model`` attribute (used by the engine for
+    evaluation) and implement :meth:`run_step`.  ``bind`` and
+    ``recalibrate`` default to no-ops for executors without a learning
+    phase (the baseline).
+    """
+
+    model = None
+
+    def bind(self, loader: MiniBatchLoader) -> None:
+        """One-time preparation before the loop (e.g. the learning phase)."""
+
+    @abc.abstractmethod
+    def run_step(self, batch: MiniBatch) -> StepOutcome:
+        """Execute one training step and report its observations."""
+
+    def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> None:
+        """React to a recalibration point of the schedule (default: no-op)."""
+
+    # ------------------------------------------------------------------ #
+    # Shared timing helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def timed_outcome(
+        perf_model,
+        batch_size: int,
+        loss: float,
+        popular_fraction: float | None = None,
+    ) -> StepOutcome:
+        """Build a :class:`StepOutcome` split into compute vs collective time.
+
+        Uses the :meth:`~repro.baselines.base.ExecutionModel.collective_time`
+        hook to carve the dense-gradient synchronisation out of the perf
+        model's step time, so every executor reports a comparable
+        compute/communication split.
+        """
+        if perf_model is None:
+            return StepOutcome(loss=loss, popular_fraction=popular_fraction)
+        step_time = perf_model.step_time(batch_size)
+        collective = getattr(perf_model, "collective_time", None)
+        comm = min(step_time, collective()) if collective is not None else 0.0
+        return StepOutcome(
+            loss=loss,
+            popular_fraction=popular_fraction,
+            compute_time_s=step_time - comm,
+            communication_time_s=comm,
+        )
+
+
+def recalibration_points(steps_per_epoch: int, recalibrations_per_epoch: int) -> set[int]:
+    """Evenly spaced in-epoch steps at which to re-enter the learning phase."""
+    if recalibrations_per_epoch <= 0 or steps_per_epoch <= recalibrations_per_epoch:
+        return set()
+    stride = steps_per_epoch // (recalibrations_per_epoch + 1)
+    return {stride * (i + 1) for i in range(recalibrations_per_epoch)}
+
+
+class TrainingEngine:
+    """The single training loop shared by all functional trainers.
+
+    Args:
+        executor: The per-step strategy to drive.
+        prefetch: Loader prefetch depth (batches assembled by a background
+            thread while the current step trains).  The default of ``None``
+            defers to the loader: a loader with no stated preference
+            (``prefetch=None``) gets double-buffering (depth 1), one built
+            with an explicit depth — including ``prefetch=0`` as a
+            synchronous opt-out — keeps it.  Pass an explicit depth here to
+            override the loader either way; the trainers' ``train()``
+            methods use the default, so wrap the trainer in your own
+            ``TrainingEngine`` to control the knob.
+    """
+
+    def __init__(self, executor: StepExecutor, *, prefetch: int | None = None):
+        self.executor = executor
+        self.prefetch = prefetch
+
+    def _epoch_batches(self, loader: MiniBatchLoader):
+        """One epoch's batch iterator, prefetched when the loader supports it."""
+        epoch = getattr(loader, "epoch", None)
+        if epoch is None:
+            return iter(loader)
+        depth = self.prefetch
+        if depth is None:
+            loader_depth = getattr(loader, "prefetch", None)
+            depth = 1 if loader_depth is None else loader_depth
+        return epoch(prefetch=depth)
+
+    def train(
+        self,
+        loader: MiniBatchLoader,
+        *,
+        epochs: int = 1,
+        eval_batch: MiniBatch | None = None,
+        eval_every: int = 0,
+        recalibrations_per_epoch: int = 0,
+    ) -> TrainingResult:
+        """Run the full training loop and record a :class:`TrainingResult`."""
+        self.executor.bind(loader)
+        result = TrainingResult()
+        iteration = 0
+        for _epoch in range(epochs):
+            recal_points = recalibration_points(len(loader), recalibrations_per_epoch)
+            for step_in_epoch, batch in enumerate(self._epoch_batches(loader)):
+                if step_in_epoch in recal_points:
+                    self.executor.recalibrate(loader, seed=iteration)
+                outcome = self.executor.run_step(batch)
+                result.losses.append(outcome.loss)
+                if outcome.popular_fraction is not None:
+                    result.popular_fractions.append(outcome.popular_fraction)
+                result.compute_time_s += outcome.compute_time_s
+                result.communication_time_s += outcome.communication_time_s
+                result.simulated_time_s += outcome.step_time_s
+                iteration += 1
+                if eval_batch is not None and eval_every and iteration % eval_every == 0:
+                    result.auc_history.append(
+                        (iteration, evaluate(self.executor.model, eval_batch)["auc"])
+                    )
+        if eval_batch is not None:
+            result.final_metrics = evaluate(self.executor.model, eval_batch)
+            result.auc_history.append((iteration, result.final_metrics["auc"]))
+        return result

@@ -29,7 +29,8 @@ class HotSetIndex:
     index was built without table sizes) are never hot.
 
     Attributes:
-        hot_sets: The original per-table arrays of hot row ids.
+        hot_sets: Per-table sorted arrays of hot row ids (lazily resynced
+            after delta updates).
     """
 
     def __init__(
@@ -39,17 +40,20 @@ class HotSetIndex:
     ):
         if rows_per_table is not None and len(rows_per_table) != len(hot_sets):
             raise ValueError("rows_per_table must have one entry per hot set")
-        self.hot_sets: list[np.ndarray] = [
+        self._hot_sets: list[np.ndarray | None] = [
             np.asarray(hot, dtype=np.int64) for hot in hot_sets
         ]
+        self._rows_per_table = (
+            tuple(int(rows) for rows in rows_per_table) if rows_per_table is not None else None
+        )
         self._bitmaps: list[np.ndarray] = []
         for table, hot in enumerate(self.hot_sets):
             if hot.size and hot.min() < 0:
                 # Negative ids would wrap around the bitmap and silently mark
                 # an unrelated row hot.
                 raise ValueError(f"hot set of table {table} contains negative row ids")
-            if rows_per_table is not None:
-                size = int(rows_per_table[table])
+            if self._rows_per_table is not None:
+                size = self._rows_per_table[table]
                 if hot.size and hot.max() >= size:
                     raise ValueError(
                         f"hot set of table {table} references out-of-range rows"
@@ -65,6 +69,19 @@ class HotSetIndex:
     def from_hot_sets(cls, hot_sets: Sequence[np.ndarray]) -> "HotSetIndex":
         """Build an index sized by the largest row id of each hot set."""
         return cls(hot_sets)
+
+    @property
+    def hot_sets(self) -> list[np.ndarray]:
+        """Per-table sorted arrays of hot row ids.
+
+        Kept lazily: :meth:`set_rows`/:meth:`clear_rows` only flip bitmap
+        bits (O(delta)) and invalidate the affected table's array, which is
+        rebuilt from its bitmap here on next access.
+        """
+        for table, hot in enumerate(self._hot_sets):
+            if hot is None:
+                self._hot_sets[table] = np.nonzero(self._bitmaps[table])[0]
+        return self._hot_sets  # type: ignore[return-value]
 
     @property
     def num_tables(self) -> int:
@@ -102,6 +119,96 @@ class HotSetIndex:
         """Split ``rows`` into (hot, cold) subsets, preserving order."""
         mask = self.contains(table, rows)
         return rows[mask], rows[~mask]
+
+    # ------------------------------------------------------------------ #
+    # Incremental (delta) updates
+    # ------------------------------------------------------------------ #
+    # All delta paths stay bitmap-native on purpose: sort-based set ops
+    # (np.isin / union1d / setdiff1d) on the hot sets cost more than the
+    # fancy-indexed bit flips they would replace.
+
+    def _validated_delta(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """Normalise a delta row array and validate it against the table."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size == 0:
+            return rows
+        if rows.min() < 0:
+            raise ValueError(f"delta for table {table} contains negative row ids")
+        if self._rows_per_table is not None and rows.max() >= self._rows_per_table[table]:
+            raise ValueError(f"delta for table {table} references out-of-range rows")
+        return rows
+
+    def _grow_bitmap(self, table: int, needed: int) -> np.ndarray:
+        """Extend one table's bitmap to cover ``needed`` rows (dynamic sizing)."""
+        bitmap = self._bitmaps[table]
+        if needed > bitmap.size:
+            grown = np.zeros(needed, dtype=bool)
+            grown[: bitmap.size] = bitmap
+            self._bitmaps[table] = bitmap = grown
+        return bitmap
+
+    def set_rows(self, table: int, rows: np.ndarray) -> None:
+        """Mark ``rows`` hot in place (recalibration delta).
+
+        For an index built without fixed table sizes the bitmap grows to
+        cover new row ids; with fixed sizes out-of-range rows raise, exactly
+        as at construction time.
+        """
+        rows = self._validated_delta(table, rows)
+        if rows.size == 0:
+            return
+        bitmap = self._grow_bitmap(table, int(rows.max()) + 1)
+        bitmap[rows] = True
+        self._hot_sets[table] = None  # rebuilt lazily on next hot_sets access
+
+    def clear_rows(self, table: int, rows: np.ndarray) -> None:
+        """Mark ``rows`` cold in place (recalibration delta).
+
+        Rows beyond the bitmap's range are already cold and are ignored.
+        """
+        rows = self._validated_delta(table, rows)
+        if rows.size == 0:
+            return
+        bitmap = self._bitmaps[table]
+        bitmap[rows[rows < bitmap.size]] = False
+        self._hot_sets[table] = None  # rebuilt lazily on next hot_sets access
+
+    def replace_table(self, table: int, new_hot: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Swap one table's hot set, flipping only the rows that drifted.
+
+        Instead of reallocating and repopulating the table's bitmap (the
+        from-scratch path the constructor takes, whose cost grows with the
+        *table* size), the drifted rows are computed in O(hot-set) work —
+        one bitmap gather for the additions, one binary search for the
+        removals — and flipped in place.  That keeps frequent recalibration
+        cheap at Criteo-Terabyte table sizes, where the bitmap dwarfs the
+        hot set by orders of magnitude.
+
+        Returns:
+            ``(added, removed)`` row-id arrays describing the applied delta.
+        """
+        new_hot = self._validated_delta(table, new_hot)
+        if new_hot.size and np.any(np.diff(new_hot) <= 0):
+            new_hot = np.unique(new_hot)
+        old_hot = self.hot_sets[table]
+        bitmap = self._grow_bitmap(table, int(new_hot.max()) + 1 if new_hot.size else 0)
+        # Rows currently set are in range by construction, so the bitmap
+        # gather needs no bounds mask: additions are the new rows whose bit
+        # is still clear.
+        added = new_hot[~bitmap[new_hot]] if new_hot.size else new_hot
+        # Removals are old rows absent from the (sorted) new hot set.
+        if old_hot.size and new_hot.size:
+            slot = np.searchsorted(new_hot, old_hot)
+            in_bounds = slot < new_hot.size
+            gone = ~in_bounds
+            gone[in_bounds] = new_hot[slot[in_bounds]] != old_hot[in_bounds]
+            removed = old_hot[gone]
+        else:
+            removed = old_hot
+        bitmap[removed] = False
+        bitmap[added] = True
+        self._hot_sets[table] = new_hot
+        return added, removed
 
     def classify(self, sparse: np.ndarray) -> np.ndarray:
         """Popular-input mask for a ``(batch, tables, pooling)`` index block.

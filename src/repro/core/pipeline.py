@@ -1,90 +1,74 @@
-"""The end-to-end Hotline trainer: learning phase + acceleration phase.
+"""Single-replica trainers: the baseline and the Hotline µ-batch schedule.
 
-This is the *functional* counterpart of :class:`~repro.core.scheduler.
-HotlineScheduler`.  It trains an actual numpy DLRM/TBSM model with the
-Hotline schedule:
+Historically this module owned the whole trainer stack — two hand-rolled
+train loops plus result recording.  The loop now lives in
+:class:`~repro.core.engine.TrainingEngine`; what remains here are the two
+single-replica *step executors*:
 
-* **learning phase** — a small sampled fraction of mini-batches (~5 %) is
-  streamed through the accelerator's Embedding Access Logger to identify
-  the frequently-accessed rows; those rows become the GPU-resident hot
-  replica of the :class:`~repro.core.placement.EmbeddingPlacement`.
-* **acceleration phase** — every mini-batch is fragmented into a popular
-  and a non-popular µ-batch; both are trained, their gradients accumulate,
-  and the parameter update is applied once per mini-batch — which makes the
-  resulting model *numerically equivalent* to the baseline that trains on
-  the whole mini-batch at once (Eq. 5; verified by the test-suite).
+* :class:`ReferenceTrainer` — the baseline: one full mini-batch per step
+  (conventional DLRM/TBSM training).
+* :class:`HotlineTrainer` — the Hotline schedule.  A **learning phase**
+  streams a small sampled fraction of mini-batches (~5 %) through the
+  accelerator's Embedding Access Logger to identify frequently-accessed
+  rows, which become the GPU-resident hot replica of the
+  :class:`~repro.core.placement.EmbeddingPlacement`.  In the
+  **acceleration phase** every mini-batch is fragmented into a popular and
+  a non-popular µ-batch; both are trained, their gradients accumulate, and
+  the parameter update is applied once per mini-batch — numerically
+  equivalent to the baseline update on the whole mini-batch (Eq. 5;
+  verified by the test-suite).  Recalibration points re-enter the learning
+  phase and delta-update the placement's hot-set bitmaps in place.
 
-The trainer also accumulates the simulated wall-clock time of the schedule
-through an :class:`~repro.baselines.base.ExecutionModel`, so accuracy-vs-
-time curves (Figure 18) and throughput comparisons (Figure 21) come from a
-single run.
+The multi-replica counterpart,
+:class:`~repro.core.distributed.ShardedHotlineTrainer`, lives in
+:mod:`repro.core.distributed` and plugs into the same engine loop, so the
+baseline, Hotline, and K-shard Hotline results are produced by one code
+path and differ only in their step executors.
+
+Both executors accept an :class:`~repro.baselines.base.ExecutionModel`
+whose simulated step time is split into compute vs collective time through
+the :meth:`~repro.baselines.base.ExecutionModel.collective_time` hook, so
+accuracy-vs-time curves (Figure 18) and throughput comparisons (Figure 21)
+come from a single functional run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.baselines.base import ExecutionModel
 from repro.core.accelerator import HotlineAccelerator
 from repro.core.classifier import MicroBatches, split_minibatch
+from repro.core.engine import (
+    StepExecutor,
+    StepOutcome,
+    TrainingEngine,
+    TrainingResult,
+    evaluate,
+)
 from repro.core.placement import EmbeddingPlacement
 from repro.data.batch import MiniBatch
 from repro.data.loader import MiniBatchLoader
 from repro.nn.embedding import SparseGradient, merge_sparse_gradients
-from repro.nn.metrics import binary_accuracy, log_loss, roc_auc
+
+__all__ = [
+    "ReferenceTrainer",
+    "HotlineTrainer",
+    "TrainingResult",
+    "evaluate",
+]
 
 
-@dataclass
-class TrainingResult:
-    """Outcome of one training run (baseline or Hotline).
-
-    Attributes:
-        losses: Per-iteration training loss (sum-reduced BCE).
-        auc_history: (iteration, validation AUC) pairs.
-        popular_fractions: Per-iteration popular µ-batch fraction (Hotline
-            runs only; empty for the baseline).
-        simulated_time_s: Simulated wall-clock time of the schedule.
-        final_metrics: Final validation accuracy / AUC / log-loss.
-    """
-
-    losses: list[float] = field(default_factory=list)
-    auc_history: list[tuple[int, float]] = field(default_factory=list)
-    popular_fractions: list[float] = field(default_factory=list)
-    simulated_time_s: float = 0.0
-    final_metrics: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def iterations(self) -> int:
-        """Number of training iterations performed."""
-        return len(self.losses)
-
-    @property
-    def mean_popular_fraction(self) -> float:
-        """Average popular-input fraction across the run."""
-        if not self.popular_fractions:
-            return 0.0
-        return float(np.mean(self.popular_fractions))
-
-
-def evaluate(model, batch: MiniBatch) -> dict[str, float]:
-    """Validation accuracy, AUC, and log-loss of ``model`` on ``batch``."""
-    probabilities = model.predict(batch)
-    return {
-        "accuracy": binary_accuracy(batch.labels, probabilities),
-        "auc": roc_auc(batch.labels, probabilities),
-        "logloss": log_loss(batch.labels, probabilities),
-    }
-
-
-class ReferenceTrainer:
+class ReferenceTrainer(StepExecutor):
     """Baseline trainer: one full mini-batch per step (DLRM/TBSM default)."""
 
     def __init__(self, model, lr: float = 0.05, perf_model: ExecutionModel | None = None):
         self.model = model
         self.lr = lr
         self.perf_model = perf_model
+
+    def run_step(self, batch: MiniBatch) -> StepOutcome:
+        """One baseline step: forward, backward, update on the whole batch."""
+        loss = self.model.train_step(batch, lr=self.lr)
+        return self.timed_outcome(self.perf_model, batch.size, loss)
 
     def train(
         self,
@@ -95,24 +79,12 @@ class ReferenceTrainer:
         eval_every: int = 0,
     ) -> TrainingResult:
         """Train for ``epochs`` epochs, recording losses and AUC."""
-        result = TrainingResult()
-        iteration = 0
-        for _epoch in range(epochs):
-            for batch in loader:
-                loss = self.model.train_step(batch, lr=self.lr)
-                result.losses.append(loss)
-                if self.perf_model is not None:
-                    result.simulated_time_s += self.perf_model.step_time(batch.size)
-                iteration += 1
-                if eval_batch is not None and eval_every and iteration % eval_every == 0:
-                    result.auc_history.append((iteration, evaluate(self.model, eval_batch)["auc"]))
-        if eval_batch is not None:
-            result.final_metrics = evaluate(self.model, eval_batch)
-            result.auc_history.append((iteration, result.final_metrics["auc"]))
-        return result
+        return TrainingEngine(self).train(
+            loader, epochs=epochs, eval_batch=eval_batch, eval_every=eval_every
+        )
 
 
-class HotlineTrainer:
+class HotlineTrainer(StepExecutor):
     """Trains a model with the Hotline µ-batch schedule."""
 
     def __init__(
@@ -139,19 +111,27 @@ class HotlineTrainer:
     # Learning phase
     # ------------------------------------------------------------------ #
     def learning_phase(self, loader: MiniBatchLoader, seed: int = 0) -> EmbeddingPlacement:
-        """Sample mini-batches, populate the EAL, and build the placement."""
+        """Sample mini-batches, populate the EAL, and build the placement.
+
+        When a placement already exists (recalibration), the freshly tracked
+        hot sets are applied as in-place bitmap deltas instead of rebuilding
+        the :class:`~repro.core.hotset.HotSetIndex` from scratch.
+        """
         sampled = loader.sample_batches(self.sample_fraction, seed=seed)
         for batch in sampled:
             self.accelerator.learn_from_batch(batch.sparse)
         num_tables = self.model.config.num_sparse_features
         hot_sets = self.accelerator.hot_sets(num_tables)
-        self.placement = EmbeddingPlacement(
-            hot_sets=hot_sets,
-            rows_per_table=self.model.config.dataset.rows_per_table,
-            embedding_dim=self.model.config.embedding_dim,
-            dtype_bytes=self.model.config.dtype_bytes,
-            hbm_budget_bytes=self.hbm_budget_bytes,
-        )
+        if self.placement is None:
+            self.placement = EmbeddingPlacement(
+                hot_sets=hot_sets,
+                rows_per_table=self.model.config.dataset.rows_per_table,
+                embedding_dim=self.model.config.embedding_dim,
+                dtype_bytes=self.model.config.dtype_bytes,
+                hbm_budget_bytes=self.hbm_budget_bytes,
+            )
+        else:
+            self.placement.update_hot_sets(hot_sets)
         return self.placement
 
     def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> EmbeddingPlacement:
@@ -196,6 +176,21 @@ class HotlineTrainer:
         self.model.apply_sparse_updates(merged, self.lr)
         return total_loss, micro
 
+    # ------------------------------------------------------------------ #
+    # StepExecutor interface
+    # ------------------------------------------------------------------ #
+    def bind(self, loader: MiniBatchLoader) -> None:
+        """Run the learning phase if no placement exists yet."""
+        if self.placement is None:
+            self.learning_phase(loader)
+
+    def run_step(self, batch: MiniBatch) -> StepOutcome:
+        """One Hotline step reported to the engine."""
+        loss, micro = self.train_step(batch)
+        return self.timed_outcome(
+            self.perf_model, batch.size, loss, popular_fraction=micro.popular_fraction
+        )
+
     def train(
         self,
         loader: MiniBatchLoader,
@@ -206,28 +201,10 @@ class HotlineTrainer:
         recalibrations_per_epoch: int = 0,
     ) -> TrainingResult:
         """Train for ``epochs`` epochs with the Hotline schedule."""
-        if self.placement is None:
-            self.learning_phase(loader)
-        result = TrainingResult()
-        iteration = 0
-        for _epoch in range(epochs):
-            steps_per_epoch = len(loader)
-            recal_points = set()
-            if recalibrations_per_epoch > 0 and steps_per_epoch > recalibrations_per_epoch:
-                stride = steps_per_epoch // (recalibrations_per_epoch + 1)
-                recal_points = {stride * (i + 1) for i in range(recalibrations_per_epoch)}
-            for step_in_epoch, batch in enumerate(loader):
-                if step_in_epoch in recal_points:
-                    self.recalibrate(loader, seed=iteration)
-                loss, micro = self.train_step(batch)
-                result.losses.append(loss)
-                result.popular_fractions.append(micro.popular_fraction)
-                if self.perf_model is not None:
-                    result.simulated_time_s += self.perf_model.step_time(batch.size)
-                iteration += 1
-                if eval_batch is not None and eval_every and iteration % eval_every == 0:
-                    result.auc_history.append((iteration, evaluate(self.model, eval_batch)["auc"]))
-        if eval_batch is not None:
-            result.final_metrics = evaluate(self.model, eval_batch)
-            result.auc_history.append((iteration, result.final_metrics["auc"]))
-        return result
+        return TrainingEngine(self).train(
+            loader,
+            epochs=epochs,
+            eval_batch=eval_batch,
+            eval_every=eval_every,
+            recalibrations_per_epoch=recalibrations_per_epoch,
+        )

@@ -85,6 +85,21 @@ class EmbeddingPlacement:
         """Split looked-up ``rows`` of one table into (hot, cold) subsets."""
         return self.index.split_rows(table, rows)
 
+    def update_hot_sets(self, new_hot_sets: list[np.ndarray]) -> "EmbeddingPlacement":
+        """Apply a recalibration's hot sets as in-place bitmap deltas.
+
+        Only the rows that drifted in or out of each table's hot set are
+        touched (:meth:`~repro.core.hotset.HotSetIndex.replace_table`), so
+        frequent recalibration avoids rebuilding the per-table bitmaps from
+        scratch.  Returns ``self`` for chaining.
+        """
+        if len(new_hot_sets) != self.num_tables:
+            raise ValueError("new_hot_sets must have one entry per table")
+        for table, new_hot in enumerate(new_hot_sets):
+            self.index.replace_table(table, new_hot)
+        self.hot_sets = list(self.index.hot_sets)
+        return self
+
     def truncate_to_budget(self, access_counts: list[np.ndarray]) -> "EmbeddingPlacement":
         """Return a placement whose hot replica fits the HBM budget.
 

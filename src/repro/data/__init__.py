@@ -9,28 +9,28 @@ pooling factor (one-hot vs multi-hot), and — critically — the heavy-tailed
 Zipf access skew that makes >=75 % of inputs "popular" (Figure 6).
 """
 
+from repro.data.batch import MiniBatch
 from repro.data.datasets import (
-    DatasetSpec,
-    CRITEO_KAGGLE,
-    TAOBAO_ALIBABA,
-    CRITEO_TERABYTE,
     AVAZU,
+    CRITEO_KAGGLE,
+    CRITEO_TERABYTE,
+    PAPER_DATASETS,
     SYN_D1,
     SYN_D2,
-    PAPER_DATASETS,
+    TAOBAO_ALIBABA,
+    DatasetSpec,
     dataset_by_name,
 )
-from repro.data.batch import MiniBatch
-from repro.data.synthetic import SyntheticClickLog, generate_click_log
-from repro.data.loader import MiniBatchLoader
+from repro.data.loader import MiniBatchLoader, ShardedLoader
 from repro.data.skew import (
+    EvolvingSkewGenerator,
     access_histogram,
     popular_entries,
-    popular_input_mask,
     popular_input_fraction,
+    popular_input_mask,
     top_k_overlap,
-    EvolvingSkewGenerator,
 )
+from repro.data.synthetic import SyntheticClickLog, generate_click_log
 
 __all__ = [
     "DatasetSpec",
@@ -46,6 +46,7 @@ __all__ = [
     "SyntheticClickLog",
     "generate_click_log",
     "MiniBatchLoader",
+    "ShardedLoader",
     "access_histogram",
     "popular_entries",
     "popular_input_mask",

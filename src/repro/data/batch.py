@@ -68,3 +68,24 @@ class MiniBatch:
     def table_block(self, table: int) -> np.ndarray:
         """The (batch, pooling) lookup block of one table (EmbeddingBag input)."""
         return self.sparse[:, table, :]
+
+    def shards(self, num_shards: int) -> list["MiniBatch"]:
+        """Deal the batch into ``num_shards`` contiguous slices.
+
+        Shards are basic-slice *views* of this batch's arrays (no copy) and
+        differ in size by at most one sample; trailing shards may be empty
+        when the batch is smaller than ``num_shards``.  This is the
+        data-parallel split used by
+        :class:`~repro.core.distributed.ShardedHotlineTrainer`.
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        bounds = [(k * self.size) // num_shards for k in range(num_shards + 1)]
+        return [
+            MiniBatch(
+                dense=self.dense[start:stop],
+                sparse=self.sparse[start:stop],
+                labels=self.labels[start:stop],
+            )
+            for start, stop in zip(bounds, bounds[1:])
+        ]

@@ -1,12 +1,17 @@
 """Mini-batch loader over a synthetic click log.
 
-Supports sequential epochs, optional shuffling, and the sampling mode used
-by Hotline's learning phase (a uniformly sampled ~5 % subset of mini-batches
-for online popularity profiling).
+Supports sequential epochs, optional shuffling, opt-in background-thread
+prefetching (double-buffering batch assembly under the training step), the
+sampling mode used by Hotline's learning phase (a uniformly sampled ~5 %
+subset of mini-batches for online popularity profiling), and a
+:class:`ShardedLoader` view that deals every mini-batch into contiguous
+per-shard slices for data-parallel training.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import Iterator
 
 import numpy as np
@@ -14,9 +19,70 @@ import numpy as np
 from repro.data.batch import MiniBatch
 from repro.data.synthetic import SyntheticClickLog
 
+#: Queue message tags used by the prefetch worker.
+_ITEM, _DONE, _ERROR = range(3)
+
+
+def _prefetched(producer: Iterator[MiniBatch], depth: int) -> Iterator[MiniBatch]:
+    """Drain ``producer`` on a background thread through a bounded queue.
+
+    The worker assembles up to ``depth`` batches ahead of the consumer, so
+    batch materialisation overlaps the training step.  Exceptions raised by
+    the producer are re-raised in the consumer; abandoning the iterator
+    (early ``break``) stops the worker promptly via the stop event.
+    """
+    buffer: queue.Queue = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+
+    def put(message) -> bool:
+        while not stop.is_set():
+            try:
+                buffer.put(message, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def worker() -> None:
+        try:
+            for item in producer:
+                if not put((_ITEM, item)):
+                    return
+            put((_DONE, None))
+        except BaseException as exc:  # propagated to the consumer
+            put((_ERROR, exc))
+
+    thread = threading.Thread(target=worker, name="minibatch-prefetch", daemon=True)
+    thread.start()
+    try:
+        while True:
+            tag, payload = buffer.get()
+            if tag == _DONE:
+                return
+            if tag == _ERROR:
+                raise payload
+            yield payload
+    finally:
+        stop.set()
+
 
 class MiniBatchLoader:
-    """Iterates a :class:`SyntheticClickLog` in fixed-size mini-batches."""
+    """Iterates a :class:`SyntheticClickLog` in fixed-size mini-batches.
+
+    Args:
+        log: The click log to iterate.
+        batch_size: Samples per mini-batch.
+        shuffle: Reshuffle the sample order every epoch.
+        drop_last: Drop the trailing partial batch.
+        seed: Seed of the epoch-shuffling RNG.
+        prefetch: Default prefetch depth: ``0`` pins batch assembly
+            synchronous (honoured by the training engine as an explicit
+            opt-out); ``n >= 1`` assembles up to ``n`` batches ahead on a
+            background thread.  The default of ``None`` expresses no
+            preference — direct iteration stays synchronous, while the
+            engine double-buffers.  Callers can override per epoch via
+            :meth:`epoch`.
+    """
 
     def __init__(
         self,
@@ -26,13 +92,18 @@ class MiniBatchLoader:
         shuffle: bool = False,
         drop_last: bool = True,
         seed: int = 0,
+        prefetch: int | None = None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if prefetch is not None and prefetch < 0:
+            raise ValueError("prefetch must be >= 0")
         self.log = log
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.seed = seed
+        self.prefetch = prefetch
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -42,32 +113,120 @@ class MiniBatchLoader:
             return full + 1
         return full
 
-    def __iter__(self) -> Iterator[MiniBatch]:
-        """Yield mini-batches for one epoch."""
-        order = np.arange(self.log.num_samples)
-        if self.shuffle:
-            self._rng.shuffle(order)
-        for start in range(0, self.log.num_samples, self.batch_size):
-            indices = order[start : start + self.batch_size]
-            if len(indices) < self.batch_size and self.drop_last:
-                break
-            yield MiniBatch(
-                dense=self.log.dense[indices],
-                sparse=self.log.sparse[indices],
-                labels=self.log.labels[indices],
-            )
+    # ------------------------------------------------------------------ #
+    # Epoch iteration
+    # ------------------------------------------------------------------ #
+    def _batch_at(self, order: np.ndarray | None, start: int, stop: int) -> MiniBatch:
+        """Materialise the mini-batch covering ``[start, stop)`` of the epoch.
 
+        Sequential epochs slice the log directly (basic slicing — views, no
+        copy); shuffled epochs gather through the permutation.
+        """
+        if order is None:
+            return MiniBatch(
+                dense=self.log.dense[start:stop],
+                sparse=self.log.sparse[start:stop],
+                labels=self.log.labels[start:stop],
+            )
+        indices = order[start:stop]
+        return MiniBatch(
+            dense=self.log.dense[indices],
+            sparse=self.log.sparse[indices],
+            labels=self.log.labels[indices],
+        )
+
+    def _epoch_batches(self, order: np.ndarray | None) -> Iterator[MiniBatch]:
+        """Yield one epoch of mini-batches for a fixed sample order."""
+        for start in range(0, self.log.num_samples, self.batch_size):
+            stop = min(start + self.batch_size, self.log.num_samples)
+            if stop - start < self.batch_size and self.drop_last:
+                break
+            yield self._batch_at(order, start, stop)
+
+    def epoch(self, prefetch: int | None = None) -> Iterator[MiniBatch]:
+        """One epoch of mini-batches, optionally prefetched.
+
+        The shuffle order is drawn eagerly (before any background thread
+        starts), so prefetching never changes which batches an epoch yields
+        — only when they are assembled.
+        """
+        order: np.ndarray | None = None
+        if self.shuffle:
+            order = np.arange(self.log.num_samples)
+            self._rng.shuffle(order)
+        producer = self._epoch_batches(order)
+        depth = self.prefetch if prefetch is None else prefetch
+        if depth is not None and depth > 0:
+            return _prefetched(producer, depth)
+        return producer
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        """Yield mini-batches for one epoch (honours the ``prefetch`` default)."""
+        return self.epoch()
+
+    # ------------------------------------------------------------------ #
+    # Learning-phase sampling
+    # ------------------------------------------------------------------ #
     def sample_batches(self, fraction: float, seed: int = 0) -> list[MiniBatch]:
         """Uniformly sample a fraction of this epoch's mini-batches.
 
         This is the input to Hotline's learning phase: the paper samples
         ~5 % of mini-batches to identify >90 % of frequently-accessed
         embeddings with <=5 % profiling overhead (Challenge 3).
+
+        Sampling is side-effect free: it draws from fresh RNGs seeded by
+        ``seed`` (for the choice of batches) and the loader's own seed (for
+        the shuffled epoch order it mirrors), never from the loader's
+        epoch-shuffling RNG — so profiling mid-run does not perturb the
+        order of subsequent epochs.  Only the chosen batches are
+        materialised; the log is sliced directly rather than enumerating
+        every batch of the epoch.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
         total = len(self)
         count = max(1, int(round(total * fraction)))
         rng = np.random.default_rng(seed)
-        chosen = set(rng.choice(total, size=min(count, total), replace=False).tolist())
-        return [batch for i, batch in enumerate(self) if i in chosen]
+        chosen = np.sort(rng.choice(total, size=min(count, total), replace=False))
+        order: np.ndarray | None = None
+        if self.shuffle:
+            # Mirror the first epoch order of a freshly-seeded loader without
+            # touching self._rng.
+            order = np.arange(self.log.num_samples)
+            np.random.default_rng(self.seed).shuffle(order)
+        return [
+            self._batch_at(
+                order,
+                int(index) * self.batch_size,
+                min((int(index) + 1) * self.batch_size, self.log.num_samples),
+            )
+            for index in chosen
+        ]
+
+
+class ShardedLoader:
+    """Data-parallel view of a loader: each mini-batch dealt into K shards.
+
+    Every iteration yields the list of ``num_shards`` contiguous per-shard
+    slices of one global mini-batch.  Shards are basic-slice *views* of the
+    underlying batch arrays — for sequential (unshuffled) epochs that means
+    views straight into the click log, with no copying anywhere on the path.
+    The global batch is recoverable by concatenating the shards in order,
+    which is what makes the K-shard update numerically equivalent to the
+    single-replica one (Eq. 5 extended across shards).
+    """
+
+    def __init__(self, loader: MiniBatchLoader, num_shards: int):
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.loader = loader
+        self.num_shards = num_shards
+
+    def __len__(self) -> int:
+        """Number of sharded mini-batches per epoch."""
+        return len(self.loader)
+
+    def __iter__(self) -> Iterator[list[MiniBatch]]:
+        """Yield per-shard slice lists for one epoch."""
+        for batch in self.loader:
+            yield batch.shards(self.num_shards)

@@ -18,8 +18,8 @@ benchmark modules because they train real models.
 from repro.experiments.registry import (
     Experiment,
     list_experiments,
-    run_experiment,
     run_all,
+    run_experiment,
 )
 
 __all__ = ["Experiment", "list_experiments", "run_experiment", "run_all"]

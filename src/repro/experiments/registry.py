@@ -2,8 +2,9 @@
 
 Each experiment is a named, parameter-free callable returning plain Python
 data (dicts / lists) ready for tabulation or plotting.  The heavy functional
-experiments (model training) are intentionally excluded — see the benchmark
-harness for those.
+experiments (full model training at paper scale) live in the benchmark
+harness; the one functional experiment registered here — ``fig30f``, the
+sharded-trainer scaling run — is deliberately sized to finish in seconds.
 """
 
 from __future__ import annotations
@@ -21,9 +22,12 @@ from repro.baselines import (
     XDLParameterServer,
 )
 from repro.core import HotlineScheduler
-from repro.models import RM1, RM2, RM3, RM4, SYN_M1, SYN_M2
-from repro.perf import TrainingCostModel
+from repro.core.distributed import ShardedHotlineTrainer
+from repro.data import MiniBatchLoader, generate_click_log
 from repro.hwsim import multi_node, single_node
+from repro.models import RM1, RM2, RM3, RM4, SYN_M1, SYN_M2
+from repro.models.dlrm import DLRM
+from repro.perf import TrainingCostModel
 
 #: The four real-world workloads in figure order.
 _WORKLOADS = [
@@ -206,6 +210,44 @@ def _fig30_multinode() -> dict:
     return result
 
 
+def _fig30_functional() -> dict:
+    """Multi-node scaling from a *functional* sharded run (fig30 companion).
+
+    Unlike ``fig30`` (pure timing model), this trains a real (scaled-down)
+    DLRM with :class:`~repro.core.distributed.ShardedHotlineTrainer` at 4
+    shards per node and reports simulated per-shard compute plus the
+    hierarchical all-reduce term from :mod:`repro.hwsim.collectives`.  The
+    recorded losses are numerically identical across node counts (Eq. 5
+    across shards), so the scaling curve is backed by an actual training
+    result rather than a simulation alone.
+    """
+    config = RM2.scaled(max_rows_per_table=600, samples_per_epoch=1024)
+    log = generate_click_log(config.dataset, 1024, seed=23)
+    loader = MiniBatchLoader(log, batch_size=256)
+    result = {}
+    for nodes in (1, 2, 4):
+        shards = 4 * nodes
+        cluster = single_node(4) if nodes == 1 else multi_node(nodes, 4)
+        trainer = ShardedHotlineTrainer(
+            DLRM(config, seed=5),
+            shards,
+            cluster=cluster,
+            lr=0.1,
+            sample_fraction=0.25,
+            perf_model=HotlineScheduler(TrainingCostModel(config, cluster=cluster)),
+        )
+        run = trainer.train(loader, epochs=1)
+        result[f"{nodes} node(s)"] = {
+            "shards": shards,
+            "final_loss": run.losses[-1],
+            "simulated_time_s": run.simulated_time_s,
+            "compute_time_s": run.compute_time_s,
+            "communication_time_s": run.communication_time_s,
+            "mean_popular_fraction": run.mean_popular_fraction,
+        }
+    return result
+
+
 _EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("fig3", "Hybrid CPU-GPU training-time breakdown", _fig3_hybrid_breakdown),
     Experiment("fig4", "Single-node GPU-only training-time breakdown", _fig4_gpu_only_breakdown),
@@ -219,6 +261,11 @@ _EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("fig26", "Speedup vs mini-batch size", _fig26_batch_sweep),
     Experiment("fig28", "Large multi-hot synthetic models", _fig28_synthetic_models),
     Experiment("fig30", "Multi-node scaling on synthetic models", _fig30_multinode),
+    Experiment(
+        "fig30f",
+        "Multi-node scaling from a functional sharded-Hotline run",
+        _fig30_functional,
+    ),
 )
 
 

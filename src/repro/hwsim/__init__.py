@@ -12,34 +12,35 @@ communication costs.  All figures in the paper are ratio/shape claims, which
 this level of modelling preserves.
 """
 
-from repro.hwsim.device import (
-    CPUSpec,
-    GPUSpec,
-    XEON_SILVER_4116,
-    TESLA_V100,
-    TESLA_V100_32GB,
-)
-from repro.hwsim.memory import MemorySpec, DDR4_SERVER, HBM2, EDRAM, SRAM_ON_CHIP
-from repro.hwsim.interconnect import (
-    Link,
-    PCIE_GEN3_X16,
-    NVLINK2,
-    INFINIBAND_100G,
-)
-from repro.hwsim.dma import DMAEngine
+from repro.hwsim.cluster import Cluster, Node, multi_node, single_node
 from repro.hwsim.collectives import (
     allreduce_time,
     alltoall_time,
     broadcast_time,
     gather_time,
+    hierarchical_allreduce_time,
 )
-from repro.hwsim.cluster import Node, Cluster, single_node, multi_node
-from repro.hwsim.trace import Event, Timeline
+from repro.hwsim.device import (
+    TESLA_V100,
+    TESLA_V100_32GB,
+    XEON_SILVER_4116,
+    CPUSpec,
+    GPUSpec,
+)
+from repro.hwsim.dma import DMAEngine
 from repro.hwsim.energy import (
-    ComponentEnergy,
-    AcceleratorEnergyModel,
     HOTLINE_ENERGY_MODEL,
+    AcceleratorEnergyModel,
+    ComponentEnergy,
 )
+from repro.hwsim.interconnect import (
+    INFINIBAND_100G,
+    NVLINK2,
+    PCIE_GEN3_X16,
+    Link,
+)
+from repro.hwsim.memory import DDR4_SERVER, EDRAM, HBM2, SRAM_ON_CHIP, MemorySpec
+from repro.hwsim.trace import Event, Timeline
 
 __all__ = [
     "CPUSpec",
@@ -61,6 +62,7 @@ __all__ = [
     "alltoall_time",
     "broadcast_time",
     "gather_time",
+    "hierarchical_allreduce_time",
     "Node",
     "Cluster",
     "single_node",

@@ -10,12 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.hwsim.device import CPUSpec, GPUSpec, TESLA_V100, XEON_SILVER_4116
+from repro.hwsim.device import TESLA_V100, XEON_SILVER_4116, CPUSpec, GPUSpec
 from repro.hwsim.interconnect import (
     INFINIBAND_100G,
-    Link,
     NVLINK2,
     PCIE_GEN3_X16,
+    Link,
 )
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hwsim.memory import MemorySpec, DDR4_SERVER, HBM2
+from repro.hwsim.memory import DDR4_SERVER, HBM2, MemorySpec
 from repro.hwsim.units import GIB
 
 

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.hwsim.interconnect import Link, PCIE_GEN3_X16
-from repro.hwsim.memory import MemorySpec, DDR4_SERVER
+from repro.hwsim.interconnect import PCIE_GEN3_X16, Link
+from repro.hwsim.memory import DDR4_SERVER, MemorySpec
 
 
 @dataclass

@@ -7,14 +7,14 @@ large-scale models (SYN-M1, SYN-M2, Figure 28) are described by
 """
 
 from repro.models.configs import (
-    ModelConfig,
+    PAPER_MODELS,
     RM1,
     RM2,
     RM3,
     RM4,
     SYN_M1,
     SYN_M2,
-    PAPER_MODELS,
+    ModelConfig,
     model_by_name,
 )
 from repro.models.dlrm import DLRM

@@ -20,10 +20,10 @@ from repro.data.datasets import (
     AVAZU,
     CRITEO_KAGGLE,
     CRITEO_TERABYTE,
-    DatasetSpec,
     SYN_D1,
     SYN_D2,
     TAOBAO_ALIBABA,
+    DatasetSpec,
 )
 from repro.hwsim.units import GB
 

@@ -7,15 +7,15 @@ baseline schedule and the Hotline µ-batch schedule — can be verified exactly
 without a GPU framework.
 """
 
-from repro.nn.layers import Layer, Linear, ReLU, Sigmoid
-from repro.nn.mlp import MLP
+from repro.nn import init
+from repro.nn.attention import DotProductAttention
 from repro.nn.embedding import EmbeddingBag, SparseGradient
 from repro.nn.interaction import dot_interaction, dot_interaction_backward
-from repro.nn.attention import DotProductAttention
+from repro.nn.layers import Layer, Linear, ReLU, Sigmoid
 from repro.nn.loss import bce_with_logits, bce_with_logits_backward
-from repro.nn.optim import SGD, Adagrad, SparseSGD, SparseAdagrad
-from repro.nn.metrics import roc_auc, binary_accuracy, log_loss
-from repro.nn import init
+from repro.nn.metrics import binary_accuracy, log_loss, roc_auc
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD, Adagrad, SparseAdagrad, SparseSGD
 
 __all__ = [
     "Layer",

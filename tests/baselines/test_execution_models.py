@@ -11,9 +11,9 @@ from repro.baselines import (
     ScratchPipeIdeal,
     XDLParameterServer,
 )
+from repro.hwsim import multi_node, single_node
 from repro.models import RM1, RM2, RM3
 from repro.perf import TrainingCostModel
-from repro.hwsim import multi_node, single_node
 
 
 @pytest.fixture(scope="module")

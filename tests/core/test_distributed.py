@@ -1,0 +1,271 @@
+"""K-shard data-parallel Hotline: numerical equivalence and simulated comm.
+
+Extends the Eq. 5 equivalence proof to K > 1: splitting every mini-batch
+into K contiguous shards, classifying each shard against its own EAL-derived
+placement, and accumulating the per-µ-batch gradients (dense all-reduce +
+per-table sparse merge) produces the same update as the single-replica
+trainer — at the suite's established tolerance (rtol 1e-9), and bit-for-bit
+for K = 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import HotlineAccelerator
+from repro.core.distributed import ShardedHotlineTrainer
+from repro.core.eal import EALConfig
+from repro.core.pipeline import HotlineTrainer
+from repro.data.loader import MiniBatchLoader, ShardedLoader
+from repro.hwsim.cluster import multi_node, single_node
+from repro.hwsim.collectives import allreduce_time, hierarchical_allreduce_time
+from repro.models.dlrm import DLRM
+from repro.models.tbsm import TBSM
+
+
+def make_accelerator(dim=8, seed=0):
+    return HotlineAccelerator(
+        row_bytes=dim * 4, eal_config=EALConfig(size_bytes=1 << 16, ways=8), seed=seed
+    )
+
+
+def single_replica_run(model_cls, config, log, *, lr=0.05, epochs=1):
+    model = model_cls(config, seed=42)
+    loader = MiniBatchLoader(log, batch_size=128)
+    trainer = HotlineTrainer(model, make_accelerator(), lr=lr, sample_fraction=0.25)
+    result = trainer.train(loader, epochs=epochs, eval_batch=log.batch(0, 256))
+    return model, result
+
+
+def sharded_run(model_cls, config, log, num_shards, *, lr=0.05, epochs=1):
+    model = model_cls(config, seed=42)
+    loader = MiniBatchLoader(log, batch_size=128)
+    trainer = ShardedHotlineTrainer(
+        model, num_shards, lr=lr, sample_fraction=0.25
+    )
+    result = trainer.train(loader, epochs=epochs, eval_batch=log.batch(0, 256))
+    return model, result, trainer
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_sharded_matches_single_replica_dlrm(
+    tiny_model_config, tiny_click_log, num_shards
+):
+    """Figure 18 config: K-shard losses and final parameters match K=1."""
+    single_model, single_result = single_replica_run(
+        DLRM, tiny_model_config, tiny_click_log
+    )
+    sharded_model, sharded_result, _ = sharded_run(
+        DLRM, tiny_model_config, tiny_click_log, num_shards
+    )
+    np.testing.assert_allclose(
+        sharded_result.losses, single_result.losses, rtol=1e-9, atol=1e-9
+    )
+    single_state = single_model.state_snapshot()
+    sharded_state = sharded_model.state_snapshot()
+    for key in single_state:
+        np.testing.assert_allclose(
+            sharded_state[key], single_state[key], rtol=1e-9, atol=1e-12
+        )
+    assert sharded_result.final_metrics["auc"] == pytest.approx(
+        single_result.final_metrics["auc"], abs=1e-9
+    )
+
+
+def test_one_shard_is_bit_identical_to_single_replica(tiny_model_config, tiny_click_log):
+    """K=1 runs the identical computation, so equality is exact."""
+    single_model, single_result = single_replica_run(
+        DLRM, tiny_model_config, tiny_click_log
+    )
+    sharded_model, sharded_result, _ = sharded_run(
+        DLRM, tiny_model_config, tiny_click_log, 1
+    )
+    assert sharded_result.losses == single_result.losses
+    single_state = single_model.state_snapshot()
+    sharded_state = sharded_model.state_snapshot()
+    for key in single_state:
+        np.testing.assert_array_equal(sharded_state[key], single_state[key])
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_sharded_matches_single_replica_tbsm(
+    tiny_ts_model_config, tiny_ts_click_log, num_shards
+):
+    single_model, single_result = single_replica_run(
+        TBSM, tiny_ts_model_config, tiny_ts_click_log
+    )
+    sharded_model, sharded_result, _ = sharded_run(
+        TBSM, tiny_ts_model_config, tiny_ts_click_log, num_shards
+    )
+    np.testing.assert_allclose(
+        sharded_result.losses, single_result.losses, rtol=1e-9, atol=1e-9
+    )
+    single_state = single_model.state_snapshot()
+    sharded_state = sharded_model.state_snapshot()
+    for key in single_state:
+        np.testing.assert_allclose(
+            sharded_state[key], single_state[key], rtol=1e-9, atol=1e-12
+        )
+
+
+def test_sharded_matches_full_batch_baseline(tiny_model_config, tiny_click_log):
+    """The chain closes: K-shard Hotline == single-replica == baseline."""
+    baseline = DLRM(tiny_model_config, seed=42)
+    sharded_model, _, trainer = sharded_run(DLRM, tiny_model_config, tiny_click_log, 4)
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    for batch in loader:
+        baseline.train_step(batch, lr=0.05)
+    baseline_state = baseline.state_snapshot()
+    sharded_state = sharded_model.state_snapshot()
+    for key in baseline_state:
+        np.testing.assert_allclose(
+            sharded_state[key], baseline_state[key], rtol=1e-9, atol=1e-12
+        )
+
+
+def test_four_shards_match_single_replica_on_figure18_config():
+    """Acceptance check on the Figure 18 setup (scaled Criteo Kaggle)."""
+    from repro.data.synthetic import generate_click_log
+    from repro.models import RM2
+
+    config = RM2.scaled(max_rows_per_table=1200, samples_per_epoch=3072)
+    log = generate_click_log(config.dataset, 3072, seed=41)
+    loader = MiniBatchLoader(log, batch_size=256)
+    eval_batch = log.batch(2048, 1024)
+
+    single = HotlineTrainer(
+        DLRM(config, seed=13), make_accelerator(config.embedding_dim), lr=0.3,
+        sample_fraction=0.25,
+    )
+    single_result = single.train(loader, epochs=1, eval_batch=eval_batch)
+
+    sharded = ShardedHotlineTrainer(
+        DLRM(config, seed=13), 4, lr=0.3, sample_fraction=0.25
+    )
+    sharded_result = sharded.train(loader, epochs=1, eval_batch=eval_batch)
+
+    np.testing.assert_allclose(
+        sharded_result.losses, single_result.losses, rtol=1e-9, atol=1e-9
+    )
+    single_state = single.model.state_snapshot()
+    sharded_state = sharded.model.state_snapshot()
+    for key in single_state:
+        np.testing.assert_allclose(
+            sharded_state[key], single_state[key], rtol=1e-9, atol=1e-12
+        )
+    # The reported simulated time carries the hwsim all-reduce term.
+    expected_comm = allreduce_time(
+        sharded.model.num_dense_parameters * 4.0, 4, sharded.cluster.node.gpu_link
+    )
+    assert sharded_result.communication_time_s == pytest.approx(
+        expected_comm * sharded_result.iterations
+    )
+
+
+def test_train_before_learning_phase_raises(tiny_model_config, tiny_click_log):
+    trainer = ShardedHotlineTrainer(DLRM(tiny_model_config, seed=0), 2)
+    with pytest.raises(RuntimeError):
+        trainer.train_step(tiny_click_log.batch(0, 32))
+
+
+def test_invalid_shard_counts_rejected(tiny_model_config):
+    with pytest.raises(ValueError):
+        ShardedHotlineTrainer(DLRM(tiny_model_config, seed=0), 0)
+    with pytest.raises(ValueError):
+        # 2 shards cannot map one-per-GPU onto a 4-GPU node.
+        ShardedHotlineTrainer(DLRM(tiny_model_config, seed=0), 2, cluster=single_node(4))
+
+
+def test_batch_smaller_than_shard_count(tiny_model_config, tiny_click_log):
+    """Empty trailing shards are skipped, and the update still matches."""
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=1), 8, lr=0.05, sample_fraction=0.25
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    trainer.learning_phase(loader)
+    batch = tiny_click_log.batch(0, 5)
+    baseline = DLRM(tiny_model_config, seed=1)
+    loss, popular_fraction = trainer.train_step(batch)
+    baseline.train_step(batch, lr=0.05)
+    assert 0.0 <= popular_fraction <= 1.0
+    for key, value in baseline.state_snapshot().items():
+        np.testing.assert_allclose(
+            trainer.model.state_snapshot()[key], value, rtol=1e-9, atol=1e-12
+        )
+
+
+def test_single_node_allreduce_term(tiny_model_config, tiny_click_log):
+    """Simulated comm time is exactly hwsim's ring all-reduce term."""
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=0), 4, sample_fraction=0.25
+    )
+    expected = allreduce_time(
+        trainer.model.num_dense_parameters * 4.0,
+        4,
+        trainer.cluster.node.gpu_link,
+    )
+    assert trainer.dense_sync_time() == pytest.approx(expected)
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    result = trainer.train(loader, epochs=1)
+    assert result.communication_time_s == pytest.approx(expected * result.iterations)
+    assert result.simulated_time_s == pytest.approx(
+        result.compute_time_s + result.communication_time_s
+    )
+
+
+def test_multi_node_uses_hierarchical_allreduce(tiny_model_config):
+    cluster = multi_node(2, 4)
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=0), 8, cluster=cluster
+    )
+    expected = hierarchical_allreduce_time(
+        trainer.model.num_dense_parameters * 4.0,
+        4,
+        2,
+        cluster.node.gpu_link,
+        cluster.inter_link,
+    )
+    assert trainer.dense_sync_time() == pytest.approx(expected)
+    # The flat single-node ring uses the plain all-reduce formula instead.
+    single = ShardedHotlineTrainer(DLRM(tiny_model_config, seed=0), 8)
+    assert single.dense_sync_time() == pytest.approx(
+        allreduce_time(
+            single.model.num_dense_parameters * 4.0, 8, single.cluster.node.gpu_link
+        )
+    )
+
+
+def test_recalibration_updates_every_shard(tiny_model_config, tiny_click_log):
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=3), 2, sample_fraction=0.25
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    result = trainer.train(loader, epochs=1, recalibrations_per_epoch=2)
+    assert result.iterations == len(loader)
+    placements = [replica.placement for replica in trainer.replicas]
+    assert all(placement is not None for placement in placements)
+    # Recalibration delta-updates the placements in place.
+    assert all(replica.accelerator.eal.insertions > 0 for replica in trainer.replicas)
+
+
+def test_sharded_loader_deals_contiguous_views(tiny_click_log):
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    sharded = ShardedLoader(loader, 4)
+    assert len(sharded) == len(loader)
+    for shards, batch in zip(sharded, loader):
+        assert len(shards) == 4
+        assert sum(shard.size for shard in shards) == batch.size
+        np.testing.assert_array_equal(
+            np.concatenate([shard.labels for shard in shards]), batch.labels
+        )
+        # Sequential epochs deal basic-slice views straight into the log.
+        assert all(
+            shard.size == 0 or np.shares_memory(shard.dense, tiny_click_log.dense)
+            for shard in shards
+        )
+        break
+
+
+def test_sharded_loader_rejects_bad_shard_count(tiny_click_log):
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    with pytest.raises(ValueError):
+        ShardedLoader(loader, 0)

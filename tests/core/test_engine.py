@@ -1,0 +1,131 @@
+"""Tests for the pluggable training engine shared by every trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    StepExecutor,
+    StepOutcome,
+    TrainingEngine,
+    TrainingResult,
+    recalibration_points,
+)
+from repro.core.pipeline import HotlineTrainer, ReferenceTrainer
+from repro.data.loader import MiniBatchLoader
+from repro.models.dlrm import DLRM
+
+
+class RecordingExecutor(StepExecutor):
+    """Minimal executor that logs every engine callback."""
+
+    def __init__(self, model):
+        self.model = model
+        self.bound = 0
+        self.recalibrations: list[int] = []
+        self.batch_sizes: list[int] = []
+
+    def bind(self, loader):
+        self.bound += 1
+
+    def run_step(self, batch):
+        self.batch_sizes.append(batch.size)
+        return StepOutcome(loss=1.0, compute_time_s=0.25, communication_time_s=0.75)
+
+    def recalibrate(self, loader, seed=0):
+        self.recalibrations.append(seed)
+
+
+def test_recalibration_points_spacing():
+    assert recalibration_points(16, 0) == set()
+    assert recalibration_points(2, 4) == set()
+    assert recalibration_points(16, 1) == {8}
+    assert recalibration_points(15, 2) == {5, 10}
+
+
+def test_engine_drives_executor_callbacks(tiny_model_config, tiny_click_log):
+    executor = RecordingExecutor(DLRM(tiny_model_config, seed=0))
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    engine = TrainingEngine(executor)
+    result = engine.train(loader, epochs=2, recalibrations_per_epoch=2)
+    assert executor.bound == 1
+    assert result.iterations == 2 * len(loader)
+    assert len(executor.recalibrations) == 4
+    assert all(size == 128 for size in executor.batch_sizes)
+    # Compute/communication splits accumulate into the simulated total.
+    assert result.compute_time_s == pytest.approx(0.25 * result.iterations)
+    assert result.communication_time_s == pytest.approx(0.75 * result.iterations)
+    assert result.simulated_time_s == pytest.approx(result.iterations)
+
+
+def test_engine_eval_cadence_and_final_metrics(tiny_model_config, tiny_click_log):
+    executor = RecordingExecutor(DLRM(tiny_model_config, seed=0))
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    eval_batch = tiny_click_log.batch(0, 256)
+    result = TrainingEngine(executor).train(
+        loader, epochs=1, eval_batch=eval_batch, eval_every=4
+    )
+    cadence_evals = len(loader) // 4
+    assert len(result.auc_history) == cadence_evals + 1  # + final evaluation
+    assert set(result.final_metrics) == {"accuracy", "auc", "logloss"}
+
+
+def test_engine_prefetch_matches_synchronous_losses(tiny_model_config, tiny_click_log):
+    """Double-buffered batch assembly must not change the training stream."""
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    runs = []
+    for prefetch in (0, 1):
+        trainer = ReferenceTrainer(DLRM(tiny_model_config, seed=11), lr=0.1)
+        runs.append(TrainingEngine(trainer, prefetch=prefetch).train(loader, epochs=1))
+    np.testing.assert_array_equal(runs[0].losses, runs[1].losses)
+
+
+def test_engine_defers_to_explicit_loader_prefetch(tiny_model_config, tiny_click_log):
+    """prefetch=0 on the loader is a real opt-out; None gets double-buffering."""
+    import repro.data.loader as loader_mod
+
+    depths = []
+    original = loader_mod._prefetched
+
+    def spying(producer, depth):
+        depths.append(depth)
+        return original(producer, depth)
+
+    loader_mod._prefetched = spying
+    try:
+        trainer = ReferenceTrainer(DLRM(tiny_model_config, seed=0), lr=0.1)
+        trainer.train(MiniBatchLoader(tiny_click_log, batch_size=128, prefetch=0), epochs=1)
+        assert depths == []
+        trainer.train(MiniBatchLoader(tiny_click_log, batch_size=128), epochs=1)
+        assert depths == [1]
+        trainer.train(MiniBatchLoader(tiny_click_log, batch_size=128, prefetch=3), epochs=1)
+        assert depths == [1, 3]
+    finally:
+        loader_mod._prefetched = original
+
+
+def test_trainers_share_the_engine_loop(tiny_model_config, tiny_click_log):
+    """Baseline and Hotline trainers are step executors — no private loops."""
+    assert isinstance(ReferenceTrainer(DLRM(tiny_model_config, seed=0)), StepExecutor)
+    assert isinstance(HotlineTrainer(DLRM(tiny_model_config, seed=0)), StepExecutor)
+    # Their train() methods return the engine's TrainingResult.
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    result = ReferenceTrainer(DLRM(tiny_model_config, seed=0), lr=0.1).train(loader)
+    assert isinstance(result, TrainingResult)
+
+
+def test_perf_split_uses_collective_time_hook(tiny_model_config, tiny_click_log):
+    from repro.core.scheduler import HotlineScheduler
+    from repro.hwsim import single_node
+    from repro.models import RM2
+    from repro.perf import TrainingCostModel
+
+    perf = HotlineScheduler(TrainingCostModel(RM2, cluster=single_node(4)))
+    trainer = ReferenceTrainer(DLRM(tiny_model_config, seed=0), lr=0.1, perf_model=perf)
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    result = trainer.train(loader, epochs=1)
+    steps = result.iterations
+    assert result.communication_time_s == pytest.approx(steps * perf.collective_time())
+    assert result.simulated_time_s == pytest.approx(steps * perf.step_time(128))
+    assert result.compute_time_s == pytest.approx(
+        result.simulated_time_s - result.communication_time_s
+    )

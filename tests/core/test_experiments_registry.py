@@ -50,6 +50,19 @@ def test_fig30_oom_pattern():
     assert isinstance(data["SYN-M1 / 4 node(s)"], float)
 
 
+def test_fig30f_functional_scaling_is_loss_invariant():
+    data = run_experiment("fig30f")
+    losses = [entry["final_loss"] for entry in data.values()]
+    assert losses[0] == pytest.approx(losses[1], rel=1e-9)
+    assert losses[0] == pytest.approx(losses[2], rel=1e-9)
+    comm = [entry["communication_time_s"] for entry in data.values()]
+    assert comm[0] > 0.0 and comm[2] > comm[1] > comm[0]
+    for entry in data.values():
+        assert entry["simulated_time_s"] == pytest.approx(
+            entry["compute_time_s"] + entry["communication_time_s"]
+        )
+
+
 def test_breakdowns_sum_to_one():
     for fig in ("fig3", "fig4", "fig5"):
         data = run_experiment(fig)

@@ -97,3 +97,66 @@ def test_as_hot_set_index_passthrough_and_coercion():
     coerced = as_hot_set_index([np.array([1])])
     assert isinstance(coerced, HotSetIndex)
     assert coerced.is_hot(0, 1)
+
+
+# ---------------------------------------------------------------------- #
+# Incremental (delta) updates
+# ---------------------------------------------------------------------- #
+def test_set_rows_marks_hot_and_syncs_hot_sets():
+    index = HotSetIndex([np.array([1, 5])], rows_per_table=(16,))
+    index.set_rows(0, np.array([3, 7]))
+    np.testing.assert_array_equal(index.hot_sets[0], [1, 3, 5, 7])
+    np.testing.assert_array_equal(
+        index.contains(0, np.arange(16)),
+        np.isin(np.arange(16), [1, 3, 5, 7]),
+    )
+    assert index.hot_rows_total == 4
+
+
+def test_clear_rows_marks_cold_and_syncs_hot_sets():
+    index = HotSetIndex([np.array([1, 3, 5, 7])], rows_per_table=(16,))
+    index.clear_rows(0, np.array([3, 7, 12]))  # 12 was never hot: no-op
+    np.testing.assert_array_equal(index.hot_sets[0], [1, 5])
+    assert not index.is_hot(0, 3)
+    assert index.is_hot(0, 5)
+
+
+def test_delta_validation_matches_constructor_rules():
+    index = HotSetIndex([np.array([1])], rows_per_table=(8,))
+    with pytest.raises(ValueError):
+        index.set_rows(0, np.array([8]))
+    with pytest.raises(ValueError):
+        index.set_rows(0, np.array([-1]))
+    with pytest.raises(ValueError):
+        index.clear_rows(0, np.array([-1]))
+
+
+def test_set_rows_grows_dynamic_bitmap():
+    index = HotSetIndex.from_hot_sets([np.array([2])])
+    assert index.table_size(0) == 3
+    index.set_rows(0, np.array([10]))
+    assert index.is_hot(0, 10)
+    assert index.table_size(0) == 11
+    np.testing.assert_array_equal(index.hot_sets[0], [2, 10])
+
+
+def test_replace_table_equals_rebuild():
+    rng = np.random.default_rng(0)
+    old_hot = np.unique(rng.integers(0, 5000, size=400))
+    new_hot = np.unique(rng.integers(0, 5000, size=400))
+    index = HotSetIndex([old_hot], rows_per_table=(5000,))
+    added, removed = index.replace_table(0, new_hot)
+    rebuilt = HotSetIndex([new_hot], rows_per_table=(5000,))
+    probe = np.arange(5000)
+    np.testing.assert_array_equal(index.contains(0, probe), rebuilt.contains(0, probe))
+    np.testing.assert_array_equal(index.hot_sets[0], new_hot)
+    # The reported delta is exactly the symmetric difference.
+    np.testing.assert_array_equal(np.sort(added), np.setdiff1d(new_hot, old_hot))
+    np.testing.assert_array_equal(np.sort(removed), np.setdiff1d(old_hot, new_hot))
+
+
+def test_empty_deltas_are_noops():
+    index = HotSetIndex([np.array([1, 2])], rows_per_table=(8,))
+    index.set_rows(0, np.empty(0, dtype=np.int64))
+    index.clear_rows(0, np.empty(0, dtype=np.int64))
+    np.testing.assert_array_equal(index.hot_sets[0], [1, 2])

@@ -79,3 +79,22 @@ def test_truncate_noop_when_within_budget():
     placement = make_placement()
     counts = [np.ones(100), np.ones(50)]
     assert placement.truncate_to_budget(counts) is placement
+
+
+def test_update_hot_sets_applies_in_place_deltas():
+    placement = make_placement(hot0=(0, 1, 2), hot1=(4,))
+    index_before = placement.index
+    new_hot = [np.array([1, 2, 9], dtype=np.int64), np.array([4, 10], dtype=np.int64)]
+    assert placement.update_hot_sets(new_hot) is placement
+    assert placement.index is index_before  # bitmaps updated, not rebuilt
+    np.testing.assert_array_equal(placement.hot_sets[0], [1, 2, 9])
+    np.testing.assert_array_equal(placement.hot_sets[1], [4, 10])
+    assert placement.hot_rows_total == 5
+    assert not placement.is_hot(0, 0)
+    assert placement.is_hot(0, 9) and placement.is_hot(1, 10)
+
+
+def test_update_hot_sets_validates_table_count():
+    placement = make_placement()
+    with pytest.raises(ValueError):
+        placement.update_hot_sets([np.array([1])])

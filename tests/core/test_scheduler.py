@@ -2,11 +2,11 @@
 
 import pytest
 
+from repro.baselines import HybridCPUGPU
 from repro.core.scheduler import HotlineScheduler
+from repro.hwsim import multi_node, single_node
 from repro.models import RM2, RM3
 from repro.perf import TrainingCostModel
-from repro.baselines import HybridCPUGPU
-from repro.hwsim import multi_node, single_node
 
 
 @pytest.fixture(scope="module")

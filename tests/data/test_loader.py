@@ -62,3 +62,90 @@ def test_sample_batches_invalid_fraction(log):
 def test_invalid_batch_size(log):
     with pytest.raises(ValueError):
         MiniBatchLoader(log, batch_size=0)
+
+
+def test_invalid_prefetch_depth(log):
+    with pytest.raises(ValueError):
+        MiniBatchLoader(log, batch_size=10, prefetch=-1)
+
+
+# ---------------------------------------------------------------------- #
+# Prefetching
+# ---------------------------------------------------------------------- #
+def assert_same_batches(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        np.testing.assert_array_equal(a.dense, b.dense)
+        np.testing.assert_array_equal(a.sparse, b.sparse)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+@pytest.mark.parametrize("shuffle", [False, True])
+def test_prefetch_yields_identical_batches(log, shuffle):
+    """Background assembly must not change what an epoch yields."""
+    sync = MiniBatchLoader(log, batch_size=128, shuffle=shuffle, seed=5)
+    prefetched = MiniBatchLoader(log, batch_size=128, shuffle=shuffle, seed=5, prefetch=2)
+    for _epoch in range(2):  # shuffled orders advance identically too
+        assert_same_batches(list(sync), list(prefetched))
+
+
+def test_epoch_prefetch_override(log):
+    loader = MiniBatchLoader(log, batch_size=128)
+    assert_same_batches(list(loader.epoch(prefetch=3)), list(loader.epoch(prefetch=0)))
+
+
+def test_prefetch_early_break_does_not_hang(log):
+    loader = MiniBatchLoader(log, batch_size=64, prefetch=1)
+    for i, _batch in enumerate(loader):
+        if i == 1:
+            break
+    # A fresh epoch still yields everything after an abandoned iterator.
+    assert len(list(loader)) == len(loader)
+
+
+def test_prefetch_propagates_producer_errors():
+    class ExplodingLog:
+        num_samples = 256
+
+        def __getattr__(self, name):
+            raise RuntimeError("boom")
+
+    loader = MiniBatchLoader.__new__(MiniBatchLoader)  # bypass validation
+    loader.log = ExplodingLog()
+    loader.batch_size = 64
+    loader.shuffle = False
+    loader.drop_last = True
+    loader.seed = 0
+    loader.prefetch = 1
+    loader._rng = np.random.default_rng(0)
+    with pytest.raises(RuntimeError, match="boom"):
+        list(loader)
+
+
+# ---------------------------------------------------------------------- #
+# Sampling side-effect freedom
+# ---------------------------------------------------------------------- #
+def test_sample_batches_does_not_perturb_epoch_order(log):
+    """Regression: sampling used to consume the epoch-shuffling RNG."""
+    undisturbed = MiniBatchLoader(log, batch_size=100, shuffle=True, seed=9)
+    sampled_from = MiniBatchLoader(log, batch_size=100, shuffle=True, seed=9)
+    first = list(undisturbed)
+    sampled_from.sample_batches(0.5, seed=1)  # must not advance the epoch RNG
+    assert_same_batches(first, list(sampled_from))
+    # And the *next* epochs stay aligned as well.
+    assert_same_batches(list(undisturbed), list(sampled_from))
+
+
+def test_sample_batches_deterministic_on_shuffled_loader(log):
+    loader = MiniBatchLoader(log, batch_size=100, shuffle=True, seed=9)
+    first = loader.sample_batches(0.5, seed=1)
+    second = loader.sample_batches(0.5, seed=1)
+    assert_same_batches(first, second)
+
+
+def test_sample_batches_mirrors_first_epoch_content(log):
+    """Sampled batches are actual batches of the loader's first epoch."""
+    loader = MiniBatchLoader(log, batch_size=100, shuffle=True, seed=4)
+    epoch = list(MiniBatchLoader(log, batch_size=100, shuffle=True, seed=4))
+    for batch in loader.sample_batches(0.3, seed=2):
+        assert any(np.array_equal(batch.labels, other.labels) for other in epoch)

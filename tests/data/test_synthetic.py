@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.synthetic import generate_click_log, _zipf_probabilities
+from repro.data.synthetic import _zipf_probabilities, generate_click_log
 from tests.conftest import TINY_DATASET
 
 

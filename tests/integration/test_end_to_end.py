@@ -16,10 +16,10 @@ from repro.core.eal import EALConfig
 from repro.core.pipeline import ReferenceTrainer
 from repro.data import MiniBatchLoader, generate_click_log
 from repro.data.skew import access_histogram, popular_entries, popular_input_fraction
+from repro.hwsim import single_node
 from repro.models import RM2
 from repro.models.dlrm import DLRM
 from repro.perf import TrainingCostModel
-from repro.hwsim import single_node
 
 
 @pytest.fixture(scope="module")

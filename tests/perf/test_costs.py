@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.hwsim import multi_node, single_node
 from repro.models import RM1, RM2, RM3
 from repro.perf import SoftwareOverheads, TrainingCostModel
-from repro.hwsim import multi_node, single_node
 
 
 @pytest.fixture(scope="module")
