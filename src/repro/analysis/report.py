@@ -8,7 +8,7 @@ reused by the example scripts.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 
 def format_table(

@@ -71,6 +71,6 @@ class ExecutionModel(abc.ABC):
         """Per-category time fractions of one iteration (Figures 3-5, 20)."""
         return self.step_timeline(batch_size).category_fractions()
 
-    def speedup_over(self, other: "ExecutionModel", batch_size: int) -> float:
+    def speedup_over(self, other: ExecutionModel, batch_size: int) -> float:
         """This mode's speedup relative to ``other`` at equal batch size."""
         return other.step_time(batch_size) / self.step_time(batch_size)

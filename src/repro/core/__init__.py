@@ -28,10 +28,16 @@ This package implements the paper's contribution:
   :class:`~repro.core.pipeline.ReferenceTrainer` and the Hotline
   :class:`~repro.core.pipeline.HotlineTrainer` (learning phase +
   acceleration phase).
-* :mod:`repro.core.distributed` — functional data-parallel sharding:
-  :class:`~repro.core.distributed.ShardedHotlineTrainer` trains K shards
-  with per-shard EAL placements and simulated all-reduce time from
-  :mod:`repro.hwsim.collectives`.
+* :mod:`repro.core.distributed` — true multi-replica data/model-parallel
+  training: :class:`~repro.core.distributed.ShardedHotlineTrainer` trains
+  K genuinely separate replicas synchronised through a bucketed dense
+  all-reduce (:class:`~repro.core.reducer.GradientBucketReducer`, with
+  ``sync``/``overlap``/``stale-1`` modes) and a deterministic sparse
+  exchange, optionally with row-partitioned embedding tables
+  (:class:`~repro.core.placement.PartitionedEmbeddingPlacement`).  The
+  PR 2 shared-replica path survives as
+  :class:`~repro.core.distributed.MergedGradientShardedTrainer`, the
+  bit-parity reference of the replica test harness.
 """
 
 from repro.core.accelerator import (
@@ -41,7 +47,11 @@ from repro.core.accelerator import (
 )
 from repro.core.classifier import MicroBatches, split_minibatch
 from repro.core.dispatcher import AddressRegisters, DataDispatcher, InputEDRAM
-from repro.core.distributed import ShardedHotlineTrainer, ShardReplica
+from repro.core.distributed import (
+    MergedGradientShardedTrainer,
+    ShardedHotlineTrainer,
+    ShardReplica,
+)
 from repro.core.eal import (
     EALConfig,
     EmbeddingAccessLogger,
@@ -61,8 +71,13 @@ from repro.core.hotset import HotSetIndex, as_hot_set_index
 from repro.core.isa import AcceleratorInterpreter, Instruction, InstructionDriver, Opcode
 from repro.core.lookup_engine import FeistelRandomizer, LookupEngine, LookupEngineArray
 from repro.core.pipeline import HotlineTrainer, ReferenceTrainer
-from repro.core.placement import EmbeddingPlacement
-from repro.core.reducer import Reducer
+from repro.core.placement import EmbeddingPlacement, PartitionedEmbeddingPlacement
+from repro.core.reducer import (
+    BucketSchedule,
+    GradientBucketReducer,
+    Reducer,
+    SparseGradientExchange,
+)
 from repro.core.scheduler import HotlineScheduler, HotlineStepPlan
 
 __all__ = [
@@ -87,6 +102,10 @@ __all__ = [
     "MicroBatches",
     "split_minibatch",
     "EmbeddingPlacement",
+    "PartitionedEmbeddingPlacement",
+    "BucketSchedule",
+    "GradientBucketReducer",
+    "SparseGradientExchange",
     "AcceleratorSpec",
     "HotlineAccelerator",
     "HOTLINE_ACCELERATOR_SPEC",
@@ -101,5 +120,6 @@ __all__ = [
     "ReferenceTrainer",
     "HotlineTrainer",
     "ShardedHotlineTrainer",
+    "MergedGradientShardedTrainer",
     "ShardReplica",
 ]

@@ -1,82 +1,104 @@
-"""Functional data-parallel (K-shard) Hotline training.
+"""True multi-replica data/model-parallel Hotline training.
 
-The paper's multi-node results (Figure 30) were originally backed only by
-the :mod:`repro.hwsim.cluster` timing model — a single replica trained the
-model while the cluster math predicted scaling.  This module makes the
-scaling *functional*: :class:`ShardedHotlineTrainer` splits every
-mini-batch into K contiguous shards (one per logical GPU), runs the full
-Hotline schedule per shard — µ-batch classification against that shard's
-own EAL-derived :class:`~repro.core.placement.EmbeddingPlacement`, then
-``loss_and_gradients`` per µ-batch — and synchronises exactly the way a
-data-parallel cluster would:
+PR 2 made Figure 30 *functional* with a shortcut: one shared numeric
+replica stood in for all K data-parallel shards (every shard's update is
+identical, so training one model and accumulating gradients in its layers
+is numerically the same).  That shortcut cannot express staleness, overlap,
+or hybrid data+model parallelism, because there is nothing to desynchronise
+and no per-shard parameter state.  This module removes it:
 
-* **dense gradients** are all-reduced (functionally: summed into the shared
-  replica, since every replica applies the same update);
-* **sparse gradients** are merged per table with
-  :func:`~repro.nn.embedding.merge_sparse_gradients`, the same accumulation
-  a parameter-less embedding all-reduce performs.
+* :class:`ShardedHotlineTrainer` now trains **K genuinely separate model
+  replicas** — each :class:`ShardReplica` owns its own dense parameters and
+  optimizer state (a deep copy of the template model) plus its own
+  accelerator/EAL and EAL-derived placement.
+* **Dense gradients** flow through an explicit
+  :class:`~repro.core.reducer.GradientBucketReducer`: each replica's
+  per-µ-batch flat gradient is a partial, the reducer chain-sums the
+  partials bucket by bucket in one fixed rank-major order, and every
+  replica applies the same reduced gradient.  The reducer's ``mode`` knob
+  selects ``sync`` (communication exposed after backward), ``overlap``
+  (buckets pipeline behind backward; numerics unchanged), or ``stale-1``
+  (communication fully hidden; the reduced dense gradient is applied one
+  step late — the only mode that changes numerics).
+* **Sparse gradients** go through
+  :class:`~repro.core.reducer.SparseGradientExchange` — per-table merge in
+  deterministic ``(replica, µ-batch)`` order, exactly the accumulation a
+  parameter-less embedding all-reduce performs.
+* With ``partition_embeddings=True`` a
+  :class:`~repro.core.placement.PartitionedEmbeddingPlacement` splits every
+  table row-wise across the shards (model parallelism).  Ownership drives
+  per-shard memory accounting, the priced all-to-all of remotely-owned
+  lookups (:func:`~repro.hwsim.collectives.embedding_alltoall_time`), and
+  the routing of merged sparse gradients back to their owner shards; each
+  replica keeps a coherent full copy, so partitioning changes
+  *communication accounting*, never numerics.
 
-Because every µ-batch of every shard is normalised by the *global*
-mini-batch size, the accumulated K-shard update is numerically equivalent
-to the single-replica update (Eq. 5 extended across shards; verified by the
-test-suite for K ∈ {1, 2, 4} on DLRM and TBSM).
+**The parity guarantee.**  In ``sync`` (and ``overlap``) mode the K-replica
+run is **bit-identical** to the PR 2 merged-gradient trainer, which is kept
+here as :class:`MergedGradientShardedTrainer` — the numerical reference the
+``tests/core/test_replica_parity.py`` harness compares against for
+K ∈ {1, 2, 4} on DLRM and TBSM.  The guarantee holds because every
+floating-point addition happens in the same order: each replica's
+per-µ-batch gradient partials are chain-summed by the reducer in the same
+rank-major sequence the shared model accumulated them in its layers, and
+``merge_sparse_gradients`` sees the identical ordered partial list.  All
+replicas apply identical updates, so they stay bit-identical to each other
+(:meth:`ShardedHotlineTrainer.replica_drift` is exactly zero) — a property
+the test harness also asserts.
 
-Simulated time is wired through :mod:`repro.hwsim.collectives`: per-shard
-compute comes from the perf model evaluated at the shard's batch size, and
-the dense synchronisation term uses
-:func:`~repro.hwsim.collectives.allreduce_time` (single node) or
-:func:`~repro.hwsim.collectives.hierarchical_allreduce_time` (multi-node),
-so Figure 30's scaling curve can be regenerated from a run that actually
-trains the model.
+Simulated time: per-shard compute comes from the perf model; the dense
+synchronisation term is the reducer's per-bucket schedule (ring or tree,
+hierarchical across nodes), reported per bucket in
+:class:`~repro.core.engine.TrainingResult.bucket_comm_s`; partitioned runs
+add the embedding all-to-all term Figure 1b attributes to model-parallel
+lookups.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
 
 from repro.baselines.base import ExecutionModel
 from repro.core.accelerator import HotlineAccelerator
 from repro.core.classifier import split_minibatch
 from repro.core.engine import StepExecutor, StepOutcome, TrainingEngine, TrainingResult
-from repro.core.placement import EmbeddingPlacement
+from repro.core.placement import EmbeddingPlacement, PartitionedEmbeddingPlacement
+from repro.core.reducer import GradientBucketReducer, SparseGradientExchange
 from repro.data.batch import MiniBatch
 from repro.data.loader import MiniBatchLoader
 from repro.hwsim.cluster import Cluster, single_node
-from repro.hwsim.collectives import allreduce_time, hierarchical_allreduce_time
+from repro.hwsim.collectives import embedding_alltoall_time
 from repro.nn.embedding import SparseGradient, merge_sparse_gradients
 
 
 @dataclass
 class ShardReplica:
-    """One logical data-parallel replica: its accelerator and placement.
+    """One logical data-parallel replica.
 
     Attributes:
         accelerator: The shard's Hotline accelerator (its own EAL).
         placement: The shard's EAL-derived embedding placement, built by the
             learning phase.
+        model: The replica's own model instance (dense parameters, embedding
+            tables, and gradient state).  ``None`` in the merged-gradient
+            reference trainer, where one shared instance stands in for all.
     """
 
     accelerator: HotlineAccelerator
     placement: EmbeddingPlacement | None = None
+    model: Any = None
 
 
-class ShardedHotlineTrainer(StepExecutor):
-    """Hotline training data-parallelised over K logical shards.
+class _ShardedTrainerBase(StepExecutor):
+    """Shared scaffolding of the K-shard trainers (learning phase, timing).
 
-    Args:
-        model: The shared model replica (functionally, all K replicas —
-            identical updates keep them bit-identical, so one instance
-            stands in for all).
-        num_shards: Number of data-parallel shards (one per logical GPU).
-        cluster: Hardware topology the shards map onto, one shard per GPU;
-            defaults to a single node with ``num_shards`` GPUs.  Drives the
-            simulated all-reduce term.
-        lr: SGD learning rate.
-        sample_fraction: Learning-phase sampling fraction per shard.
-        hbm_budget_bytes: Per-GPU budget for each shard's hot replica.
-        perf_model: Optional execution model pricing per-shard compute.
-        seed: Base seed; shard k's accelerator is seeded ``seed + k`` so
-            the per-shard EALs track their own access streams.
+    Subclasses provide the synchronisation strategy: the merged-gradient
+    reference accumulates into one shared model, the true multi-replica
+    trainer reduces explicit per-replica gradients.
     """
 
     def __init__(
@@ -149,16 +171,72 @@ class ShardedHotlineTrainer(StepExecutor):
         self.learning_phase(loader, seed=seed)
 
     # ------------------------------------------------------------------ #
-    # Acceleration phase
+    # Simulated timing
     # ------------------------------------------------------------------ #
-    def train_step(self, batch: MiniBatch) -> tuple[float, float]:
-        """One data-parallel step over the K shards of ``batch``.
+    def shard_compute_time(self, batch_size: int) -> float:
+        """Simulated compute time of one data-parallel step, sans collective.
 
-        Each shard classifies its slice against its own placement and
-        accumulates gradients from its µ-batches; dense gradients all-reduce
-        by accumulation in the shared replica, per-table sparse gradients
-        merge across shards, and the update applies once — numerically
-        equivalent to the single-replica step (Eq. 5 across shards).
+        The perf model's cost layer already apportions a *global* batch
+        across the cluster's GPUs (one shard each here), so it receives the
+        full mini-batch size; dividing by ``num_shards`` first would charge
+        each GPU for ``batch/K²`` samples.  The collective term is carved
+        out because it is accounted separately (``dense_sync_time`` /
+        the reducer's bucket schedule).
+        """
+        if self.perf_model is None:
+            return 0.0
+        # Same arithmetic as StepExecutor.timed_outcome's split
+        # (step - min(step, collective) == max(0, step - collective)).
+        step_time = self.perf_model.step_time(batch_size)
+        return max(0.0, step_time - self.perf_model.collective_time())
+
+    # ------------------------------------------------------------------ #
+    # StepExecutor interface
+    # ------------------------------------------------------------------ #
+    def bind(self, loader: MiniBatchLoader) -> None:
+        """Run the per-shard learning phase if any shard lacks a placement."""
+        if any(replica.placement is None for replica in self.replicas):
+            self.learning_phase(loader)
+
+    def train(
+        self,
+        loader: MiniBatchLoader,
+        *,
+        epochs: int = 1,
+        eval_batch: MiniBatch | None = None,
+        eval_every: int = 0,
+        recalibrations_per_epoch: int = 0,
+    ) -> TrainingResult:
+        """Train for ``epochs`` epochs with the sharded Hotline schedule."""
+        return TrainingEngine(self).train(
+            loader,
+            epochs=epochs,
+            eval_batch=eval_batch,
+            eval_every=eval_every,
+            recalibrations_per_epoch=recalibrations_per_epoch,
+        )
+
+
+class MergedGradientShardedTrainer(_ShardedTrainerBase):
+    """The PR 2 shared-replica K-shard trainer, kept as the parity reference.
+
+    One shared model instance stands in for all K replicas: every shard's
+    µ-batch gradients accumulate in the shared layers (the functional
+    equivalent of a dense all-reduce when all updates are identical) and
+    per-table sparse gradients merge once across shards.  Because every
+    µ-batch is normalised by the *global* mini-batch size, the accumulated
+    K-shard update is numerically equivalent to the single-replica update
+    (Eq. 5 extended across shards).
+
+    :class:`ShardedHotlineTrainer` must produce **bit-identical** results to
+    this trainer in ``sync``/``overlap`` mode — the headline guarantee of
+    the replica-parity test harness.  Keep this implementation as-is; it
+    plays the same ground-truth role the loop-based ``reference_forward`` /
+    ``reference_backward`` play for the vectorised embedding hot path.
+    """
+
+    def train_step(self, batch: MiniBatch) -> tuple[float, float]:
+        """One merged-gradient step over the K shards of ``batch``.
 
         Returns:
             ``(loss, popular_fraction)`` summed / averaged over the batch.
@@ -193,63 +271,27 @@ class ShardedHotlineTrainer(StepExecutor):
         popular_fraction = popular_size / batch.size if batch.size else 0.0
         return total_loss, popular_fraction
 
-    # ------------------------------------------------------------------ #
-    # Simulated timing
-    # ------------------------------------------------------------------ #
+    _dense_sync_time_cache: float | None = None
+
     def dense_sync_time(self) -> float:
-        """Simulated dense-gradient all-reduce across the K shards.
+        """Simulated dense all-reduce, priced as one unbucketed collective.
 
-        Ring all-reduce over the intra-node GPU link for a single node;
-        hierarchical (intra-ring then inter-ring) when the cluster spans
-        nodes — the :mod:`repro.hwsim.collectives` terms Figure 30's scaling
-        shape comes from.
+        The gradient size and cluster are fixed for a run, so the constant
+        wire time is computed once and cached.
         """
-        if self.num_shards <= 1:
-            return 0.0
-        # fp32 dense gradients, matching the 4-byte convention of
-        # TrainingCostModel.dense_allreduce_time (dtype_bytes describes the
-        # embedding rows, not the synchronised dense gradients).
-        grad_bytes = self.model.num_dense_parameters * 4.0
-        node = self.cluster.node
-        if self.cluster.num_nodes == 1:
-            return allreduce_time(grad_bytes, self.num_shards, node.gpu_link)
-        return hierarchical_allreduce_time(
-            grad_bytes,
-            node.num_gpus,
-            self.cluster.num_nodes,
-            node.gpu_link,
-            self.cluster.inter_link,
-        )
-
-    def shard_compute_time(self, batch_size: int) -> float:
-        """Simulated compute time of one data-parallel step, sans collective.
-
-        The perf model's cost layer already apportions a *global* batch
-        across the cluster's GPUs (one shard each here), so it receives the
-        full mini-batch size; dividing by ``num_shards`` first would charge
-        each GPU for ``batch/K²`` samples.  The collective term is carved
-        out because the engine accounts it separately via
-        :meth:`dense_sync_time`.
-        """
-        if self.perf_model is None:
-            return 0.0
-        # Same arithmetic as StepExecutor.timed_outcome's split
-        # (step - min(step, collective) == max(0, step - collective)); the
-        # comm term reported alongside comes from dense_sync_time, which
-        # prices this trainer's own cluster topology.
-        step_time = self.perf_model.step_time(batch_size)
-        return max(0.0, step_time - self.perf_model.collective_time())
-
-    # ------------------------------------------------------------------ #
-    # StepExecutor interface
-    # ------------------------------------------------------------------ #
-    def bind(self, loader: MiniBatchLoader) -> None:
-        """Run the per-shard learning phase if any shard lacks a placement."""
-        if any(replica.placement is None for replica in self.replicas):
-            self.learning_phase(loader)
+        if self._dense_sync_time_cache is None:
+            reducer = GradientBucketReducer(
+                self.num_shards,
+                bucket_bytes=max(4, self.model.num_dense_parameters * 4),
+                cluster=self.cluster,
+            )
+            self._dense_sync_time_cache = float(
+                sum(reducer.bucket_times(self.model.num_dense_parameters))
+            )
+        return self._dense_sync_time_cache
 
     def run_step(self, batch: MiniBatch) -> StepOutcome:
-        """One sharded step reported to the engine with its comm term."""
+        """One merged step reported to the engine with its comm term."""
         loss, popular_fraction = self.train_step(batch)
         return StepOutcome(
             loss=loss,
@@ -258,20 +300,277 @@ class ShardedHotlineTrainer(StepExecutor):
             communication_time_s=self.dense_sync_time(),
         )
 
-    def train(
+
+class ShardedHotlineTrainer(_ShardedTrainerBase):
+    """Hotline training over K genuinely separate model replicas.
+
+    Each replica owns its own dense parameters, optimizer state, embedding
+    tables, accelerator, and placement.  Dense gradients synchronise through
+    an explicit :class:`~repro.core.reducer.GradientBucketReducer`; sparse
+    gradients through a :class:`~repro.core.reducer.SparseGradientExchange`;
+    optional row-wise table partitioning adds the model-parallel dimension.
+
+    Args:
+        model: Template model.  Replica 0 adopts this exact instance (so the
+            caller's reference observes training); replicas 1..K-1 are deep
+            copies, bit-identical at start.
+        num_shards: Number of data-parallel replicas (one per logical GPU).
+        cluster: Hardware topology the shards map onto, one shard per GPU;
+            defaults to a single node with ``num_shards`` GPUs.
+        lr: SGD learning rate.
+        sample_fraction: Learning-phase sampling fraction per shard.
+        hbm_budget_bytes: Per-GPU budget for each shard's hot replica.
+        perf_model: Optional execution model pricing per-shard compute.
+        seed: Base seed; shard k's accelerator is seeded ``seed + k`` so
+            the per-shard EALs track their own access streams.
+        bucket_bytes: Fixed wire-byte bucket size of the dense all-reduce.
+        mode: ``"sync"`` / ``"overlap"`` / ``"stale-1"`` — see
+            :class:`~repro.core.reducer.GradientBucketReducer`.  ``sync``
+            and ``overlap`` are bit-identical to the merged-gradient
+            reference; ``stale-1`` applies the reduced dense gradient one
+            step late.
+        algorithm: ``"ring"`` or ``"tree"`` association order.  Only
+            ``"ring"`` carries the bit-parity guarantee (it reproduces the
+            reference's sequential accumulation); ``"tree"`` is a
+            deterministic alternative that changes the association.
+        partition_embeddings: Row-partition every embedding table across the
+            K shards (hybrid data+model parallelism).  Affects memory and
+            communication accounting only — never numerics.
+        reducer: Optional pre-built reducer (overrides ``bucket_bytes`` /
+            ``mode`` / ``algorithm``).
+    """
+
+    def __init__(
         self,
-        loader: MiniBatchLoader,
+        model,
+        num_shards: int,
         *,
-        epochs: int = 1,
-        eval_batch: MiniBatch | None = None,
-        eval_every: int = 0,
-        recalibrations_per_epoch: int = 0,
-    ) -> TrainingResult:
-        """Train for ``epochs`` epochs with the sharded Hotline schedule."""
-        return TrainingEngine(self).train(
-            loader,
-            epochs=epochs,
-            eval_batch=eval_batch,
-            eval_every=eval_every,
-            recalibrations_per_epoch=recalibrations_per_epoch,
+        cluster: Cluster | None = None,
+        lr: float = 0.05,
+        sample_fraction: float = 0.05,
+        hbm_budget_bytes: float = 512 * 1024 * 1024,
+        perf_model: ExecutionModel | None = None,
+        seed: int = 0,
+        bucket_bytes: int = 4 * 1024 * 1024,
+        mode: str = "sync",
+        algorithm: str = "ring",
+        partition_embeddings: bool = False,
+        reducer: GradientBucketReducer | None = None,
+    ):
+        super().__init__(
+            model,
+            num_shards,
+            cluster=cluster,
+            lr=lr,
+            sample_fraction=sample_fraction,
+            hbm_budget_bytes=hbm_budget_bytes,
+            perf_model=perf_model,
+            seed=seed,
+        )
+        # Replica 0 adopts the caller's instance; the rest start as exact
+        # deep copies and stay bit-identical through identical updates.
+        self.replicas[0].model = model
+        for replica in self.replicas[1:]:
+            replica.model = copy.deepcopy(model)
+        self.reducer = reducer or GradientBucketReducer(
+            num_shards,
+            bucket_bytes=bucket_bytes,
+            mode=mode,
+            algorithm=algorithm,
+            cluster=self.cluster,
+        )
+        config = model.config
+        self.partition: PartitionedEmbeddingPlacement | None = None
+        if partition_embeddings:
+            self.partition = PartitionedEmbeddingPlacement(
+                rows_per_table=tuple(config.dataset.rows_per_table),
+                num_shards=num_shards,
+                embedding_dim=config.embedding_dim,
+                dtype_bytes=config.dtype_bytes,
+            )
+        self.exchange = SparseGradientExchange(
+            config.num_sparse_features, partition=self.partition
+        )
+        #: Reduced dense gradient awaiting application (``stale-1`` only).
+        self._pending_dense: np.ndarray | None = None
+        #: Cached per-bucket wire times (constant: the gradient size, bucket
+        #: layout, and cluster never change across a run).
+        self._bucket_times: list[float] | None = None
+        #: Remote (non-owned) lookups of the most recent step, all shards.
+        self.last_remote_lookups: int = 0
+        #: Merged sparse-gradient rows routed to owners in the last step.
+        self.last_routed_rows: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Dense-gradient plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _flat_dense_gradient(model) -> np.ndarray:
+        """The model's accumulated dense gradient as one flat vector."""
+        return np.concatenate(
+            [grad.ravel() for _param, grad in model.dense_parameters()]
+        )
+
+    def _apply_dense_gradient(self, model, flat: np.ndarray) -> None:
+        """SGD-update a replica's dense parameters from a reduced flat gradient.
+
+        Applies ``param -= lr * segment`` per parameter — the same arithmetic
+        as ``model.apply_dense_update`` on in-layer gradients, which is what
+        keeps the replica path bit-identical to the merged reference.
+        """
+        pairs = model.dense_parameters()
+        expected = sum(param.size for param, _grad in pairs)
+        if flat.shape[0] != expected:
+            raise ValueError(
+                f"reduced gradient has {flat.shape[0]} elements, model exposes {expected}"
+            )
+        offset = 0
+        for param, _grad in pairs:
+            segment = flat[offset : offset + param.size]
+            param -= self.lr * segment.reshape(param.shape)
+            offset += param.size
+
+    # ------------------------------------------------------------------ #
+    # Acceleration phase
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: MiniBatch) -> tuple[float, float]:
+        """One data-parallel step across the K replicas of ``batch``.
+
+        Each replica classifies its own shard against its own placement and
+        contributes one flat dense-gradient partial per µ-batch; the bucket
+        reducer chain-sums the partials in rank-major order (bit-identical
+        to the merged reference's in-layer accumulation), the sparse
+        exchange merges per-table partials in the same order, and every
+        replica applies the identical update — so replicas never drift.
+        In ``stale-1`` mode the reduced dense gradient is applied one step
+        late (the first step applies none), modelling fully-hidden
+        communication at the cost of staleness.
+
+        Returns:
+            ``(loss, popular_fraction)`` summed / averaged over the batch.
+        """
+        if any(replica.placement is None for replica in self.replicas):
+            raise RuntimeError("learning_phase must run before training")
+        total_loss = 0.0
+        popular_size = 0
+        dense_partials: list[np.ndarray] = []
+        partial_sparse: list[list[SparseGradient]] = [
+            [] for _ in range(self.model.config.num_sparse_features)
+        ]
+        remote_lookups = 0
+        for shard_id, (shard_batch, replica) in enumerate(
+            zip(batch.shards(self.num_shards), self.replicas)
+        ):
+            if shard_batch.size == 0:
+                continue
+            if self.partition is not None:
+                remote_lookups += self.partition.remote_lookup_count(
+                    shard_batch.sparse, shard_id
+                )
+            micro = split_minibatch(shard_batch, replica.placement.index)
+            popular_size += micro.popular.size
+            for micro_batch in (micro.popular, micro.non_popular):
+                if micro_batch.size == 0:
+                    continue
+                replica.model.zero_grad()
+                # Global-batch normalisation keeps the reduced K-replica
+                # update identical to the single-replica one (Eq. 5).
+                loss, sparse_grads = replica.model.loss_and_gradients(
+                    micro_batch, normalizer=batch.size
+                )
+                total_loss += loss
+                dense_partials.append(self._flat_dense_gradient(replica.model))
+                for table, grad in enumerate(sparse_grads):
+                    partial_sparse[table].append(grad)
+        self.last_remote_lookups = remote_lookups
+
+        reduced = self.reducer.reduce(dense_partials) if dense_partials else None
+        merged = self.exchange.exchange(partial_sparse)
+        if self.partition is not None:
+            # The modeled sparse-gradient all-to-all of hybrid parallelism:
+            # actually route every table's merged rows to their owner shards
+            # and count what arrived, so the reported stat reflects the
+            # routing that ran (a partition of the merged rows — the
+            # property suite proves the pieces reassemble exactly).
+            self.last_routed_rows = sum(
+                piece.nnz
+                for table, grad in enumerate(merged)
+                for piece in self.exchange.route(table, grad)
+            )
+
+        if self.reducer.mode == "stale-1":
+            to_apply, self._pending_dense = self._pending_dense, reduced
+        else:
+            to_apply = reduced
+        for replica in self.replicas:
+            if to_apply is not None:
+                self._apply_dense_gradient(replica.model, to_apply)
+            replica.model.apply_sparse_updates(merged, self.lr)
+        popular_fraction = popular_size / batch.size if batch.size else 0.0
+        return total_loss, popular_fraction
+
+    # ------------------------------------------------------------------ #
+    # Replica invariants
+    # ------------------------------------------------------------------ #
+    def replica_drift(self) -> float:
+        """Maximum absolute parameter deviation of any replica from replica 0.
+
+        Identical updates keep replicas bit-identical, so this is exactly
+        ``0.0`` in every mode (even ``stale-1`` — staleness is uniform);
+        the test harness asserts it.
+        """
+        reference = self.replicas[0].model
+        drift = 0.0
+        for replica in self.replicas[1:]:
+            for (param, _), (other, _) in zip(
+                reference.dense_parameters(), replica.model.dense_parameters()
+            ):
+                drift = max(drift, float(np.max(np.abs(param - other), initial=0.0)))
+            for table, other_table in zip(reference.tables, replica.model.tables):
+                drift = max(
+                    drift, float(np.max(np.abs(table.weight - other_table.weight), initial=0.0))
+                )
+        return drift
+
+    # ------------------------------------------------------------------ #
+    # Simulated timing
+    # ------------------------------------------------------------------ #
+    def _step_bucket_times(self) -> list[float]:
+        """Per-bucket wire times of one step's dense all-reduce (cached)."""
+        if self._bucket_times is None:
+            self._bucket_times = self.reducer.bucket_times(self.model.num_dense_parameters)
+        return self._bucket_times
+
+    def dense_sync_time(self) -> float:
+        """Total wire time of one step's bucketed dense all-reduce."""
+        return float(sum(self._step_bucket_times()))
+
+    def alltoall_time(self, remote_lookups: int) -> float:
+        """Priced all-to-all of remotely-owned lookups (partitioned runs)."""
+        if self.partition is None or remote_lookups <= 0:
+            return 0.0
+        link = (
+            self.cluster.inter_link
+            if self.cluster.num_nodes > 1
+            else self.cluster.node.gpu_link
+        )
+        return embedding_alltoall_time(
+            float(remote_lookups), self.partition.row_bytes, self.num_shards, link
+        )
+
+    # ------------------------------------------------------------------ #
+    # StepExecutor interface
+    # ------------------------------------------------------------------ #
+    def run_step(self, batch: MiniBatch) -> StepOutcome:
+        """One replicated step with its per-bucket communication schedule."""
+        loss, popular_fraction = self.train_step(batch)
+        compute = self.shard_compute_time(batch.size)
+        bucket_times = self._step_bucket_times()
+        exposed = self.reducer.exposed_time(bucket_times, compute)
+        return StepOutcome(
+            loss=loss,
+            popular_fraction=popular_fraction,
+            compute_time_s=compute,
+            communication_time_s=exposed + self.alltoall_time(self.last_remote_lookups),
+            bucket_times_s=tuple(bucket_times),
         )

@@ -51,9 +51,16 @@ class TrainingResult:
         simulated_time_s: Simulated wall-clock time of the schedule
             (compute + communication).
         compute_time_s: Simulated per-replica compute portion.
-        communication_time_s: Simulated collective-communication portion
-            (dense-gradient all-reduce; zero for single-replica runs whose
-            perf model reports no collective).
+        communication_time_s: Simulated *exposed* collective-communication
+            portion — the time that actually extends training steps (equal
+            to the total wire time in ``sync`` mode; smaller when buckets
+            overlap backward; zero when fully hidden by staleness.  Zero
+            for single-replica runs whose perf model reports no
+            collective).
+        bucket_comm_s: Per-bucket dense all-reduce wire time, summed over
+            steps: ``bucket_comm_s[i]`` is the total wire time bucket ``i``
+            spent on the simulated links across the run, hidden or not.
+            Empty for executors without a bucketed reducer.
         final_metrics: Final validation accuracy / AUC / log-loss.
     """
 
@@ -63,6 +70,7 @@ class TrainingResult:
     simulated_time_s: float = 0.0
     compute_time_s: float = 0.0
     communication_time_s: float = 0.0
+    bucket_comm_s: list[float] = field(default_factory=list)
     final_metrics: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -97,13 +105,19 @@ class StepOutcome:
         popular_fraction: Popular µ-batch fraction, or ``None`` when the
             executor does not fragment (the baseline).
         compute_time_s: Simulated per-replica compute time of the step.
-        communication_time_s: Simulated collective time of the step.
+        communication_time_s: Simulated *exposed* collective time of the
+            step (the portion not hidden under backward compute).
+        bucket_times_s: Per-bucket wire time of the step's dense
+            all-reduce, in bucket order (empty when the executor has no
+            bucketed reducer).  May sum to more than
+            ``communication_time_s`` when buckets overlap compute.
     """
 
     loss: float
     popular_fraction: float | None = None
     compute_time_s: float = 0.0
     communication_time_s: float = 0.0
+    bucket_times_s: tuple[float, ...] = ()
 
     @property
     def step_time_s(self) -> float:
@@ -122,14 +136,14 @@ class StepExecutor(abc.ABC):
 
     model = None
 
-    def bind(self, loader: MiniBatchLoader) -> None:
+    def bind(self, loader: MiniBatchLoader) -> None:  # noqa: B027 - optional hook
         """One-time preparation before the loop (e.g. the learning phase)."""
 
     @abc.abstractmethod
     def run_step(self, batch: MiniBatch) -> StepOutcome:
         """Execute one training step and report its observations."""
 
-    def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> None:
+    def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> None:  # noqa: B027 - optional hook
         """React to a recalibration point of the schedule (default: no-op)."""
 
     # ------------------------------------------------------------------ #
@@ -226,6 +240,13 @@ class TrainingEngine:
                 result.compute_time_s += outcome.compute_time_s
                 result.communication_time_s += outcome.communication_time_s
                 result.simulated_time_s += outcome.step_time_s
+                if outcome.bucket_times_s:
+                    if len(result.bucket_comm_s) < len(outcome.bucket_times_s):
+                        result.bucket_comm_s.extend(
+                            [0.0] * (len(outcome.bucket_times_s) - len(result.bucket_comm_s))
+                        )
+                    for i, bucket_time in enumerate(outcome.bucket_times_s):
+                        result.bucket_comm_s[i] += bucket_time
                 iteration += 1
                 if eval_batch is not None and eval_every and iteration % eval_every == 0:
                     result.auc_history.append(

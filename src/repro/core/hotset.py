@@ -66,7 +66,7 @@ class HotSetIndex:
             self._bitmaps.append(bitmap)
 
     @classmethod
-    def from_hot_sets(cls, hot_sets: Sequence[np.ndarray]) -> "HotSetIndex":
+    def from_hot_sets(cls, hot_sets: Sequence[np.ndarray]) -> HotSetIndex:
         """Build an index sized by the largest row id of each hot set."""
         return cls(hot_sets)
 
@@ -238,7 +238,7 @@ class HotSetIndex:
 
 
 def as_hot_set_index(
-    hot_sets: "Sequence[np.ndarray] | HotSetIndex",
+    hot_sets: Sequence[np.ndarray] | HotSetIndex,
 ) -> HotSetIndex:
     """Coerce raw per-table hot-set arrays into a :class:`HotSetIndex`.
 

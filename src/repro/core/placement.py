@@ -1,4 +1,4 @@
-"""Access-aware embedding layout across GPU HBM and CPU DRAM.
+"""Embedding layouts: hot/cold placement and row-wise table partitioning.
 
 Hotline's first key insight (Section I): frequently-accessed embeddings have
 a small footprint (~512 MB covers >=75 % of inputs) and are replicated on
@@ -6,6 +6,15 @@ every GPU's HBM, while the long tail stays in CPU main memory.  Because the
 two sets are disjoint and each row has exactly one home, updates never need
 coherence traffic (unlike FAE, which synchronises embeddings between CPU and
 GPU at every popular/non-popular transition).
+:class:`EmbeddingPlacement` captures that hot/cold split.
+
+:class:`PartitionedEmbeddingPlacement` adds the *model-parallel* dimension:
+each table's rows are dealt into contiguous ranges, one per shard, so a
+K-replica data-parallel run can also split the embedding capacity K ways
+(the hybrid layout of multi-node DLRM systems, Figure 1b).  The partition
+owns no weights — it is the authority on which shard *owns* each row, which
+drives per-shard memory accounting, the all-to-all cost of remotely-owned
+lookups, and the routing of merged sparse gradients back to their owners.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.hotset import HotSetIndex
+from repro.nn.embedding import SparseGradient
 
 
 @dataclass
@@ -85,7 +95,7 @@ class EmbeddingPlacement:
         """Split looked-up ``rows`` of one table into (hot, cold) subsets."""
         return self.index.split_rows(table, rows)
 
-    def update_hot_sets(self, new_hot_sets: list[np.ndarray]) -> "EmbeddingPlacement":
+    def update_hot_sets(self, new_hot_sets: list[np.ndarray]) -> EmbeddingPlacement:
         """Apply a recalibration's hot sets as in-place bitmap deltas.
 
         Only the rows that drifted in or out of each table's hot set are
@@ -100,7 +110,7 @@ class EmbeddingPlacement:
         self.hot_sets = list(self.index.hot_sets)
         return self
 
-    def truncate_to_budget(self, access_counts: list[np.ndarray]) -> "EmbeddingPlacement":
+    def truncate_to_budget(self, access_counts: list[np.ndarray]) -> EmbeddingPlacement:
         """Return a placement whose hot replica fits the HBM budget.
 
         If the tracked hot set exceeds the budget, keep the most-accessed
@@ -127,3 +137,113 @@ class EmbeddingPlacement:
             dtype_bytes=self.dtype_bytes,
             hbm_budget_bytes=self.hbm_budget_bytes,
         )
+
+
+@dataclass
+class PartitionedEmbeddingPlacement:
+    """Row-wise contiguous partition of every embedding table across shards.
+
+    Shard ``k`` owns rows ``[bounds[k], bounds[k+1])`` of each table, with
+    the same balanced-split arithmetic as
+    :meth:`~repro.data.batch.MiniBatch.shards` (range sizes differ by at
+    most one row; trailing shards of a table smaller than the shard count
+    own nothing).  Ownership is authoritative for memory accounting and
+    gradient routing; the functional trainer keeps a full local copy of
+    every table per replica (a coherent cache — updates are identical
+    everywhere), so partitioning changes *communication accounting*, never
+    numerics.
+
+    Attributes:
+        rows_per_table: Table sizes.
+        num_shards: Number of owning shards.
+        embedding_dim: Row width.
+        dtype_bytes: Bytes per element.
+    """
+
+    rows_per_table: tuple[int, ...]
+    num_shards: int
+    embedding_dim: int
+    dtype_bytes: int = 4
+    _bounds: list[np.ndarray] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if any(rows <= 0 for rows in self.rows_per_table):
+            raise ValueError("every table must have at least one row")
+        self._bounds = [
+            np.array(
+                [(k * rows) // self.num_shards for k in range(self.num_shards + 1)],
+                dtype=np.int64,
+            )
+            for rows in self.rows_per_table
+        ]
+
+    @property
+    def num_tables(self) -> int:
+        """Number of embedding tables."""
+        return len(self.rows_per_table)
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per embedding row."""
+        return self.embedding_dim * self.dtype_bytes
+
+    def bounds(self, table: int) -> np.ndarray:
+        """The ``num_shards + 1`` row boundaries of one table's partition."""
+        return self._bounds[table]
+
+    def owned_range(self, table: int, shard: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` row range of ``table`` owned by ``shard``."""
+        bounds = self._bounds[table]
+        return int(bounds[shard]), int(bounds[shard + 1])
+
+    def owner_of(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """Owner shard id of each row index (vectorised)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.rows_per_table[table]):
+            raise ValueError(f"row index out of range for table {table}")
+        return np.searchsorted(self._bounds[table], rows, side="right") - 1
+
+    def owned_row_count(self, shard: int) -> int:
+        """Total rows (across tables) stored on ``shard``."""
+        return int(
+            sum(bounds[shard + 1] - bounds[shard] for bounds in self._bounds)
+        )
+
+    def shard_bytes(self, shard: int) -> float:
+        """Embedding-table footprint of one shard's owned rows."""
+        return float(self.owned_row_count(shard)) * self.row_bytes
+
+    def remote_lookup_count(self, sparse: np.ndarray, shard: int) -> int:
+        """Lookups in a ``(batch, tables, pooling)`` block owned elsewhere.
+
+        This is the per-step all-to-all volume of model parallelism: every
+        counted row travels to ``shard`` in the forward pass and its
+        gradient travels back to the owner in the backward pass.
+        """
+        sparse = np.asarray(sparse)
+        if sparse.ndim != 3 or sparse.shape[1] != self.num_tables:
+            raise ValueError("sparse must be 3-D (batch, num_tables, pooling)")
+        if sparse.shape[0] == 0 or sparse.shape[2] == 0:
+            return 0
+        remote = 0
+        for table in range(self.num_tables):
+            lo, hi = self.owned_range(table, shard)
+            rows = sparse[:, table, :]
+            remote += int(((rows < lo) | (rows >= hi)).sum())
+        return remote
+
+    def route_gradient(self, table: int, grad: SparseGradient) -> list[SparseGradient]:
+        """Split one table's merged gradient by owner shard.
+
+        Returns one :class:`~repro.nn.embedding.SparseGradient` per shard
+        (empty where the shard owns none of the touched rows); values are
+        array views, preserving dtype.  Relies on merged gradients carrying
+        sorted unique indices, so each owner's rows form one contiguous run.
+        """
+        cuts = np.searchsorted(grad.indices, self._bounds[table])
+        return [
+            SparseGradient(grad.indices[cuts[k] : cuts[k + 1]], grad.values[cuts[k] : cuts[k + 1]])
+            for k in range(self.num_shards)
+        ]

@@ -1,16 +1,55 @@
-"""The Reducer — Section V-D of the paper.
+"""Reduction machinery: the accelerator Reducer and the gradient collectives.
 
-The Reducer is a simple array of arithmetic units (16 in the paper's
-configuration, Table IV) that performs the sparse-length element-wise sum:
-it pools multiple fetched embedding rows into a single per-sample vector and
-stores the result in the Embedding Vector Buffer.  Functionally this is the
-EmbeddingBag sum; the class also provides a cycle model used by the
-accelerator's timing estimates.
+Two kinds of reduction live here:
+
+* :class:`Reducer` — Section V-D of the paper: a simple array of arithmetic
+  units (16 in the paper's configuration, Table IV) that performs the
+  sparse-length element-wise sum, pooling multiple fetched embedding rows
+  into a single per-sample vector stored in the Embedding Vector Buffer.
+  Functionally this is the EmbeddingBag sum; the class also provides a cycle
+  model used by the accelerator's timing estimates.
+
+* The **gradient collectives** used by the multi-replica trainer
+  (:mod:`repro.core.distributed`):
+
+  - :class:`GradientBucketReducer` all-reduces the flattened dense gradient
+    across K replicas in **fixed-size byte buckets**.  The element-wise sum
+    uses one *fixed, deterministic association order* over replica ranks
+    (``ring`` = sequential chain, ``tree`` = pairwise recursive halving), so
+    the reduced value is bit-identical regardless of how elements are
+    packed into buckets — which is what makes sync-mode K-replica training
+    bit-identical to the merged-gradient reference and what the
+    permutation/bucket-size invariance property suite asserts.  Bucketing
+    governs the *communication model*: each bucket is priced with
+    :mod:`repro.hwsim.collectives` and the ``mode`` knob decides how much
+    of that time is exposed (``sync`` = serial after backward, ``overlap``
+    = buckets pipeline behind backward as they become ready, ``stale-1`` =
+    fully hidden, updates applied one step late).
+
+  - :class:`SparseGradientExchange` merges the per-µ-batch sparse-gradient
+    partials of every replica in a single deterministic ``(replica,
+    µ-batch)`` order — the accumulation a parameter-less embedding
+    all-reduce performs — and, when a
+    :class:`~repro.core.placement.PartitionedEmbeddingPlacement` is
+    attached, routes each table's merged rows to their owner shards.
+
+  Both collectives preserve the gradient dtype end-to-end (float32 stays
+  float32); mixed-dtype partials are rejected rather than silently upcast.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+
+from repro.hwsim.cluster import Cluster
+from repro.hwsim.collectives import (
+    allreduce_time,
+    hierarchical_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.nn.embedding import SparseGradient, merge_sparse_gradients
 
 
 class Reducer:
@@ -51,3 +90,306 @@ class Reducer:
         element_ops = num_rows * dim
         ops_per_cycle = self.num_alus * self.lanes_per_alu
         return -(-element_ops // ops_per_cycle)  # ceil division
+
+
+# ---------------------------------------------------------------------- #
+# Gradient collectives (multi-replica training)
+# ---------------------------------------------------------------------- #
+
+#: Synchronisation modes of the bucketed dense all-reduce.
+REDUCE_MODES = ("sync", "overlap", "stale-1")
+
+#: Deterministic reduction orders (association trees over replica ranks).
+REDUCE_ALGORITHMS = ("ring", "tree")
+
+#: Bytes each gradient element occupies on the simulated wire (fp32, the
+#: convention of ``TrainingCostModel.dense_allreduce_time`` — the functional
+#: arrays may be float64, but real systems synchronise fp32 gradients).
+WIRE_BYTES_PER_ELEMENT = 4
+
+
+def _chain_sum(chunks: list[np.ndarray]) -> np.ndarray:
+    """Sequential rank-order sum: ``((g0 + g1) + g2) + ...`` (ring order)."""
+    total = chunks[0].copy()
+    for chunk in chunks[1:]:
+        total += chunk
+    return total
+
+
+def _tree_sum(chunks: list[np.ndarray]) -> np.ndarray:
+    """Pairwise recursive-halving sum: ``(g0 + g1) + (g2 + g3)`` and so on."""
+    level = [chunk.copy() for chunk in chunks]
+    while len(level) > 1:
+        merged = []
+        for i in range(0, len(level) - 1, 2):
+            level[i] += level[i + 1]
+            merged.append(level[i])
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]
+
+
+@dataclass(frozen=True)
+class BucketSchedule:
+    """Simulated communication schedule of one bucketed all-reduce.
+
+    Attributes:
+        per_bucket_s: Wire time of each bucket's all-reduce, in bucket order.
+        exposed_s: The portion of that time that extends the training step
+            (not hidden under backward compute) given the reducer's mode.
+    """
+
+    per_bucket_s: tuple[float, ...]
+    exposed_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Total wire time across buckets, hidden or not."""
+        return float(sum(self.per_bucket_s))
+
+
+class GradientBucketReducer:
+    """Deterministic bucketed all-reduce of flattened dense gradients.
+
+    Args:
+        num_replicas: Number of participating data-parallel replicas.
+        bucket_bytes: Fixed bucket size in *wire* bytes (fp32 convention, 4
+            bytes per gradient element).  The default of 4 MiB matches
+            PyTorch DDP's gradient-bucketing default; gradients smaller than
+            one bucket degenerate to a single all-reduce.
+        mode: ``"sync"`` (communication fully exposed after backward),
+            ``"overlap"`` (buckets pipeline behind backward as they become
+            ready, only the un-hidden tail is exposed), or ``"stale-1"``
+            (communication fully hidden; the trainer applies the reduced
+            gradient one step late).
+        algorithm: Association order of the element-wise sum — ``"ring"``
+            (sequential chain over ranks, the order a ring reduce-scatter
+            accumulates in) or ``"tree"`` (pairwise recursive halving).
+            Either way the order is *fixed per element* and independent of
+            the bucket layout, so reduced values are bit-stable under
+            re-bucketing.
+        cluster: Hardware topology pricing the per-bucket wire time.  When
+            ``None``, all timing queries report zero (numeric-only use).
+    """
+
+    def __init__(
+        self,
+        num_replicas: int,
+        *,
+        bucket_bytes: int = 4 * 1024 * 1024,
+        mode: str = "sync",
+        algorithm: str = "ring",
+        cluster: Cluster | None = None,
+    ):
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if bucket_bytes < WIRE_BYTES_PER_ELEMENT:
+            raise ValueError("bucket_bytes must hold at least one gradient element")
+        if mode not in REDUCE_MODES:
+            raise ValueError(f"mode must be one of {REDUCE_MODES}, got {mode!r}")
+        if algorithm not in REDUCE_ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {REDUCE_ALGORITHMS}, got {algorithm!r}"
+            )
+        self.num_replicas = num_replicas
+        self.bucket_bytes = int(bucket_bytes)
+        self.mode = mode
+        self.algorithm = algorithm
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------ #
+    # Bucket layout
+    # ------------------------------------------------------------------ #
+    @property
+    def elements_per_bucket(self) -> int:
+        """Gradient elements per bucket at the fp32 wire convention."""
+        return max(1, self.bucket_bytes // WIRE_BYTES_PER_ELEMENT)
+
+    def bucket_slices(self, num_elements: int) -> list[slice]:
+        """Contiguous element ranges of each bucket for a flat gradient."""
+        if num_elements <= 0:
+            return []
+        step = self.elements_per_bucket
+        return [
+            slice(start, min(start + step, num_elements))
+            for start in range(0, num_elements, step)
+        ]
+
+    def num_buckets(self, num_elements: int) -> int:
+        """Number of buckets a flat gradient of ``num_elements`` fills."""
+        return len(self.bucket_slices(num_elements))
+
+    # ------------------------------------------------------------------ #
+    # Numeric reduction
+    # ------------------------------------------------------------------ #
+    def reduce(self, partials: list[np.ndarray]) -> np.ndarray:
+        """Element-wise sum of flat gradient partials, bucket by bucket.
+
+        ``partials`` are the flat dense gradients to combine, in a fixed
+        rank-major order.  Replicas may contribute more than one partial
+        each: the sync-parity trainer passes one partial per *(replica,
+        µ-batch)* pair, so the ring chain reproduces, addition for
+        addition, the in-layer accumulation of the merged-gradient
+        reference — that is what makes sync-mode K-replica training
+        bit-identical to it.  ``num_replicas`` only drives the timing
+        model, never the numeric combination.
+
+        The per-element association order is fixed by ``algorithm`` and the
+        partial's position — never by the bucket layout — so the result is
+        bit-identical for any ``bucket_bytes`` and any permutation of the
+        element packing (the property suite asserts both).  The input dtype
+        is preserved end-to-end; mixed dtypes are rejected rather than
+        silently promoted (the ``merge_sparse_gradients`` dtype-drift class
+        of bug).
+        """
+        if not partials:
+            raise ValueError("at least one partial gradient is required")
+        arrays = [np.asarray(partial) for partial in partials]
+        first = arrays[0]
+        if any(a.shape != first.shape for a in arrays):
+            raise ValueError("all partial gradients must share one shape")
+        if any(a.dtype != first.dtype for a in arrays):
+            raise ValueError(
+                "all partial gradients must share one dtype; mixed dtypes drift "
+                f"precision silently (got {sorted({str(a.dtype) for a in arrays})})"
+            )
+        combine = _chain_sum if self.algorithm == "ring" else _tree_sum
+        reduced = np.empty_like(first)
+        for bucket in self.bucket_slices(first.shape[0]):
+            reduced[bucket] = combine([a[bucket] for a in arrays])
+        if reduced.dtype != first.dtype:  # pragma: no cover - defensive
+            raise AssertionError("bucketed reduction must preserve the gradient dtype")
+        return reduced
+
+    # ------------------------------------------------------------------ #
+    # Simulated timing
+    # ------------------------------------------------------------------ #
+    def _bucket_wire_time(self, num_bytes: float) -> float:
+        """Wire time of one bucket's all-reduce on the attached cluster."""
+        if self.cluster is None or self.num_replicas <= 1:
+            return 0.0
+        node = self.cluster.node
+        if self.algorithm == "tree":
+            if self.cluster.num_nodes == 1:
+                return tree_allreduce_time(num_bytes, self.num_replicas, node.gpu_link)
+            return tree_allreduce_time(
+                num_bytes, node.num_gpus, node.gpu_link
+            ) + tree_allreduce_time(num_bytes, self.cluster.num_nodes, self.cluster.inter_link)
+        if self.cluster.num_nodes == 1:
+            return allreduce_time(num_bytes, self.num_replicas, node.gpu_link)
+        return hierarchical_allreduce_time(
+            num_bytes,
+            node.num_gpus,
+            self.cluster.num_nodes,
+            node.gpu_link,
+            self.cluster.inter_link,
+        )
+
+    def bucket_times(self, num_elements: int) -> list[float]:
+        """Per-bucket all-reduce wire times for a flat gradient."""
+        return [
+            self._bucket_wire_time((chunk.stop - chunk.start) * WIRE_BYTES_PER_ELEMENT)
+            for chunk in self.bucket_slices(num_elements)
+        ]
+
+    def exposed_time(self, bucket_times: list[float], compute_window_s: float) -> float:
+        """Communication time the step *pays* for, given a compute window.
+
+        * ``sync`` — every bucket is exposed (reduce starts after compute).
+        * ``overlap`` — bucket ``i`` becomes ready a fraction ``(i+1)/B``
+          into ``compute_window_s`` (gradients materialise as the window
+          proceeds) and the link serialises buckets; only the tail that
+          outlives the window is exposed.  ``compute_window_s`` is the span
+          during which gradients materialise: the trainer passes its whole
+          per-step compute time, an *optimistic* simplification (buckets
+          cannot really be reduced before backward begins).  Callers with a
+          backward-time split should pass that narrower window instead.
+        * ``stale-1`` — the reduce of step *t* overlaps step *t+1* entirely,
+          so nothing is exposed (the trainer applies it one step late).
+        """
+        if not bucket_times:
+            return 0.0
+        if self.mode == "sync":
+            return float(sum(bucket_times))
+        if self.mode == "stale-1":
+            return 0.0
+        count = len(bucket_times)
+        finish = 0.0
+        for i, wire_time in enumerate(bucket_times):
+            ready = compute_window_s * (i + 1) / count
+            finish = max(ready, finish) + wire_time
+        return max(0.0, finish - compute_window_s)
+
+    def schedule(self, num_elements: int, compute_window_s: float) -> BucketSchedule:
+        """The full communication schedule of one step's dense all-reduce."""
+        per_bucket = self.bucket_times(num_elements)
+        return BucketSchedule(
+            per_bucket_s=tuple(per_bucket),
+            exposed_s=self.exposed_time(per_bucket, compute_window_s),
+        )
+
+
+class SparseGradientExchange:
+    """Deterministic cross-replica merge (and routing) of sparse gradients.
+
+    Embedding tables have no dense all-reduce: every replica contributes the
+    per-µ-batch :class:`~repro.nn.embedding.SparseGradient` partials of its
+    shard, and the exchange concatenates them in one fixed ``(replica,
+    µ-batch)`` order before a single
+    :func:`~repro.nn.embedding.merge_sparse_gradients` per table — exactly
+    the accumulation the merged-gradient reference performs, which keeps the
+    multi-replica sparse update bit-identical to it.
+
+    With a :class:`~repro.core.placement.PartitionedEmbeddingPlacement`
+    attached, each table's merged gradient is additionally routed row-wise
+    to its owner shards (:meth:`route`), modelling the sparse-gradient
+    all-to-all of hybrid data+model parallelism.
+
+    Args:
+        num_tables: Number of embedding tables.
+        partition: Optional row-wise table partition for routing.
+    """
+
+    def __init__(self, num_tables: int, partition=None):
+        if num_tables <= 0:
+            raise ValueError("num_tables must be positive")
+        self.num_tables = num_tables
+        self.partition = partition
+        #: Total merged gradient rows of the most recent exchange.
+        self.last_exchanged_rows: int = 0
+
+    def exchange(self, per_table_partials: list[list[SparseGradient]]) -> list[SparseGradient]:
+        """Merge each table's partials (already in deterministic order).
+
+        The merge preserves the partials' value dtype (float32 gradients
+        stay float32); a table whose partials disagree on dtype is rejected.
+        """
+        if len(per_table_partials) != self.num_tables:
+            raise ValueError(
+                f"expected partial lists for {self.num_tables} tables, "
+                f"got {len(per_table_partials)}"
+            )
+        merged: list[SparseGradient] = []
+        rows = 0
+        for table, partials in enumerate(per_table_partials):
+            dtypes = {partial.values.dtype for partial in partials}
+            if len(dtypes) > 1:
+                raise ValueError(
+                    f"table {table} sparse partials mix dtypes {sorted(map(str, dtypes))}"
+                )
+            combined = merge_sparse_gradients(partials)
+            if partials and combined.values.dtype != partials[0].values.dtype:
+                raise AssertionError(
+                    "sparse-gradient merge must preserve the partials' dtype"
+                )
+            merged.append(combined)
+            rows += combined.nnz
+        self.last_exchanged_rows = rows
+        return merged
+
+    def route(self, table: int, grad: SparseGradient) -> list[SparseGradient]:
+        """Split one table's merged gradient by owner shard (partitioned runs)."""
+        if self.partition is None:
+            raise RuntimeError("routing requires a PartitionedEmbeddingPlacement")
+        return self.partition.route_gradient(table, grad)

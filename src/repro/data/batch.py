@@ -47,7 +47,7 @@ class MiniBatch:
         """Lookups per table per sample (1 = one-hot, >1 = multi-hot)."""
         return int(self.sparse.shape[2])
 
-    def select(self, indices: np.ndarray) -> "MiniBatch":
+    def select(self, indices: np.ndarray) -> MiniBatch:
         """A new MiniBatch containing only the samples at ``indices``."""
         indices = np.asarray(indices, dtype=np.int64)
         return MiniBatch(

@@ -71,7 +71,7 @@ class DatasetSpec:
         self,
         max_rows_per_table: int = 20_000,
         samples_per_epoch: int | None = None,
-    ) -> "DatasetSpec":
+    ) -> DatasetSpec:
         """A functionally-trainable copy with capped table sizes.
 
         The scaling preserves the *relative* table sizes and the Zipf

@@ -17,8 +17,10 @@ from repro.hwsim.collectives import (
     allreduce_time,
     alltoall_time,
     broadcast_time,
+    embedding_alltoall_time,
     gather_time,
     hierarchical_allreduce_time,
+    tree_allreduce_time,
 )
 from repro.hwsim.device import (
     TESLA_V100,
@@ -61,8 +63,10 @@ __all__ = [
     "allreduce_time",
     "alltoall_time",
     "broadcast_time",
+    "embedding_alltoall_time",
     "gather_time",
     "hierarchical_allreduce_time",
+    "tree_allreduce_time",
     "Node",
     "Cluster",
     "single_node",

@@ -13,6 +13,8 @@ Hotline eliminates the embedding all-to-all entirely.
 
 from __future__ import annotations
 
+import math
+
 from repro.hwsim.interconnect import Link
 
 
@@ -47,10 +49,36 @@ def broadcast_time(num_bytes: float, participants: int, link: Link) -> float:
     """Tree broadcast of ``num_bytes`` from one device to all others."""
     if participants <= 1 or num_bytes <= 0:
         return 0.0
-    import math
-
     hops = max(1, math.ceil(math.log2(participants)))
     return hops * (link.latency_s + num_bytes / link.bandwidth)
+
+
+def tree_allreduce_time(num_bytes: float, participants: int, link: Link) -> float:
+    """Binary-tree all-reduce: reduce up the tree, then broadcast back down.
+
+    Latency-optimal for small payloads (NCCL switches to trees for small
+    buffers and large rings for bandwidth-bound ones), which is why the
+    bucketed gradient reducer offers it as an alternative to the ring.
+    """
+    return 2.0 * broadcast_time(num_bytes, participants, link)
+
+
+def embedding_alltoall_time(
+    num_remote_rows: float, row_bytes: float, participants: int, link: Link
+) -> float:
+    """Per-step all-to-all cost of remotely-owned embedding lookups.
+
+    With row-wise partitioned tables (model parallelism), every lookup of a
+    row owned by another shard is exchanged twice per iteration: the row
+    travels to the consumer in the forward pass and its gradient travels
+    back to the owner in the backward pass (Figure 1b — the traffic Hotline
+    eliminates, priced here so hybrid-parallel runs can report it).  Remote
+    rows are assumed evenly spread, so each device injects its ``1/p`` share.
+    """
+    if participants <= 1 or num_remote_rows <= 0 or row_bytes <= 0:
+        return 0.0
+    per_device_bytes = num_remote_rows * row_bytes / participants
+    return 2.0 * alltoall_time(per_device_bytes, participants, link)
 
 
 def gather_time(num_bytes_per_device: float, participants: int, link: Link) -> float:

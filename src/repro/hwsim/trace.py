@@ -9,8 +9,8 @@ what Figures 3, 4, 5 and 20 of the paper plot.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable
 
 
 @dataclass(frozen=True)

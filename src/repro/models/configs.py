@@ -106,7 +106,7 @@ class ModelConfig:
         """Bytes of embeddings gathered for one training sample."""
         return self.dataset.lookups_per_sample() * self.bytes_per_lookup()
 
-    def scaled(self, max_rows_per_table: int = 20_000, samples_per_epoch: int | None = None) -> "ModelConfig":
+    def scaled(self, max_rows_per_table: int = 20_000, samples_per_epoch: int | None = None) -> ModelConfig:
         """A functionally-trainable copy with capped embedding-table sizes."""
         return replace(
             self,

@@ -50,8 +50,8 @@ class SparseGradient:
         return int(self.indices.shape[0])
 
     def restricted_to(
-        self, allowed: "np.ndarray | HotSetIndex", table: int = 0
-    ) -> "SparseGradient":
+        self, allowed: np.ndarray | HotSetIndex, table: int = 0
+    ) -> SparseGradient:
         """Gradient restricted to rows contained in ``allowed``.
 
         ``allowed`` may be a plain array of row ids or a prebuilt

@@ -39,7 +39,7 @@ class MLP:
     @classmethod
     def from_arch_string(
         cls, arch: str, rng: np.random.Generator, *, sigmoid_output: bool = False
-    ) -> "MLP":
+    ) -> MLP:
         """Build an MLP from a DLRM-style ``"13-512-256-64"`` string."""
         sizes = [int(token) for token in arch.split("-")]
         return cls(sizes, rng, sigmoid_output=sigmoid_output)

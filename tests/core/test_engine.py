@@ -129,3 +129,35 @@ def test_perf_split_uses_collective_time_hook(tiny_model_config, tiny_click_log)
     assert result.compute_time_s == pytest.approx(
         result.simulated_time_s - result.communication_time_s
     )
+
+
+def test_engine_accumulates_per_bucket_comm(tiny_model_config, tiny_click_log):
+    """bucket_comm_s sums each bucket's wire time across every step."""
+    from repro.core.distributed import ShardedHotlineTrainer
+    from repro.core.reducer import WIRE_BYTES_PER_ELEMENT
+    from repro.models.dlrm import DLRM
+
+    model = DLRM(tiny_model_config, seed=0)
+    bucket_elements = 64
+    trainer = ShardedHotlineTrainer(
+        model, 2, sample_fraction=0.25,
+        bucket_bytes=bucket_elements * WIRE_BYTES_PER_ELEMENT,
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    result = trainer.train(loader, epochs=1)
+    expected_buckets = -(-model.num_dense_parameters // bucket_elements)
+    assert len(result.bucket_comm_s) == expected_buckets
+    per_step = trainer.reducer.bucket_times(model.num_dense_parameters)
+    for total, one_step in zip(result.bucket_comm_s, per_step):
+        assert total == pytest.approx(one_step * result.iterations)
+    # Sync mode: the exposed communication is exactly the summed wire time.
+    assert result.communication_time_s == pytest.approx(sum(result.bucket_comm_s))
+
+
+def test_baseline_outcomes_report_no_buckets(tiny_model_config, tiny_click_log):
+    from repro.core.pipeline import ReferenceTrainer
+    from repro.models.dlrm import DLRM
+
+    trainer = ReferenceTrainer(DLRM(tiny_model_config, seed=0))
+    result = trainer.train(MiniBatchLoader(tiny_click_log, batch_size=128), epochs=1)
+    assert result.bucket_comm_s == []

@@ -68,3 +68,9 @@ def test_breakdowns_sum_to_one():
         data = run_experiment(fig)
         for label, breakdown in data.items():
             assert sum(breakdown.values()) == pytest.approx(1.0), (fig, label)
+
+
+def test_fig30_replicated_registered():
+    ids = [experiment.id for experiment in list_experiments()]
+    assert "fig30r" in ids
+    assert ids.index("fig30r") == ids.index("fig30f") + 1

@@ -98,3 +98,78 @@ def test_update_hot_sets_validates_table_count():
     placement = make_placement()
     with pytest.raises(ValueError):
         placement.update_hot_sets([np.array([1])])
+
+
+# ---------------------------------------------------------------------- #
+# PartitionedEmbeddingPlacement (row-wise model parallelism)
+# ---------------------------------------------------------------------- #
+
+from repro.core.placement import PartitionedEmbeddingPlacement
+from repro.nn.embedding import SparseGradient
+
+
+def make_partition(rows=(100, 50), shards=4, dim=8):
+    return PartitionedEmbeddingPlacement(
+        rows_per_table=rows, num_shards=shards, embedding_dim=dim
+    )
+
+
+def test_partition_bounds_are_balanced_and_cover():
+    partition = make_partition(rows=(10,), shards=3)
+    assert partition.bounds(0).tolist() == [0, 3, 6, 10]
+    ranges = [partition.owned_range(0, k) for k in range(3)]
+    assert ranges == [(0, 3), (3, 6), (6, 10)]
+    assert sum(hi - lo for lo, hi in ranges) == 10
+
+
+def test_partition_owner_lookup_vectorised():
+    partition = make_partition(rows=(10,), shards=2)
+    owners = partition.owner_of(0, np.array([0, 4, 5, 9]))
+    assert owners.tolist() == [0, 0, 1, 1]
+    with pytest.raises(ValueError):
+        partition.owner_of(0, np.array([10]))
+
+
+def test_partition_memory_accounting():
+    partition = make_partition(rows=(100, 50), shards=4, dim=8)
+    assert sum(partition.owned_row_count(k) for k in range(4)) == 150
+    assert partition.shard_bytes(0) == partition.owned_row_count(0) * 8 * 4
+    assert partition.num_tables == 2
+    assert partition.row_bytes == 32
+
+
+def test_partition_tables_smaller_than_shard_count():
+    """A 2-row table over 4 shards: trailing shards own nothing."""
+    partition = make_partition(rows=(2,), shards=4)
+    counts = [partition.owned_range(0, k) for k in range(4)]
+    assert [hi - lo for lo, hi in counts] == [0, 1, 0, 1]
+    assert sum(hi - lo for lo, hi in counts) == 2
+
+
+def test_partition_remote_lookup_count():
+    partition = make_partition(rows=(10,), shards=2)
+    # shard 0 owns rows [0, 5); lookups of 5..9 are remote to it.
+    sparse = np.array([[[0, 5]], [[9, 2]]])  # (batch=2, tables=1, pooling=2)
+    assert partition.remote_lookup_count(sparse, 0) == 2
+    assert partition.remote_lookup_count(sparse, 1) == 2
+    with pytest.raises(ValueError):
+        partition.remote_lookup_count(np.zeros((2, 3)), 0)
+    assert partition.remote_lookup_count(np.empty((0, 1, 2), dtype=np.int64), 0) == 0
+
+
+def test_partition_routes_merged_gradient_by_owner():
+    partition = make_partition(rows=(10,), shards=2)
+    grad = SparseGradient(np.array([0, 3, 5, 9]), np.arange(16.0).reshape(4, 4))
+    routed = partition.route_gradient(0, grad)
+    assert routed[0].indices.tolist() == [0, 3]
+    assert routed[1].indices.tolist() == [5, 9]
+    np.testing.assert_array_equal(routed[1].values, grad.values[2:])
+    # Routed values are views — dtype (and storage) preserved.
+    assert routed[0].values.dtype == grad.values.dtype
+
+
+def test_partition_validates_configuration():
+    with pytest.raises(ValueError):
+        PartitionedEmbeddingPlacement(rows_per_table=(10,), num_shards=0, embedding_dim=4)
+    with pytest.raises(ValueError):
+        PartitionedEmbeddingPlacement(rows_per_table=(0,), num_shards=2, embedding_dim=4)

@@ -48,3 +48,182 @@ def test_cycle_model_scales_with_work():
 def test_invalid_configuration():
     with pytest.raises(ValueError):
         Reducer(num_alus=0)
+
+
+# ---------------------------------------------------------------------- #
+# GradientBucketReducer / SparseGradientExchange (multi-replica training)
+# ---------------------------------------------------------------------- #
+# Includes the dtype-drift regression suite: every reducer on the bucket
+# path must preserve float32 end-to-end (the merge_sparse_gradients class
+# of bug fixed in PR 1) and reject silently-promoting mixed-dtype inputs.
+
+from repro.core.placement import PartitionedEmbeddingPlacement
+from repro.core.reducer import (
+    REDUCE_ALGORITHMS,
+    REDUCE_MODES,
+    WIRE_BYTES_PER_ELEMENT,
+    GradientBucketReducer,
+    SparseGradientExchange,
+)
+from repro.hwsim.cluster import multi_node, single_node
+from repro.hwsim.collectives import (
+    allreduce_time,
+    hierarchical_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.nn.embedding import SparseGradient
+
+
+def test_bucket_slices_cover_the_gradient_exactly():
+    reducer = GradientBucketReducer(2, bucket_bytes=8 * WIRE_BYTES_PER_ELEMENT)
+    slices = reducer.bucket_slices(20)
+    assert [s.start for s in slices] == [0, 8, 16]
+    assert [s.stop for s in slices] == [8, 16, 20]
+    assert reducer.num_buckets(20) == 3
+    assert reducer.bucket_slices(0) == []
+
+
+def test_ring_reduce_is_rank_major_chain_sum():
+    reducer = GradientBucketReducer(2, bucket_bytes=4 * WIRE_BYTES_PER_ELEMENT)
+    partials = [np.arange(10.0), np.ones(10), np.full(10, 0.5)]
+    np.testing.assert_array_equal(
+        reducer.reduce(partials), (partials[0] + partials[1]) + partials[2]
+    )
+
+
+def test_tree_reduce_pairwise_halving():
+    reducer = GradientBucketReducer(4, algorithm="tree")
+    partials = [np.full(3, float(i)) for i in range(5)]
+    expected = ((partials[0] + partials[1]) + (partials[2] + partials[3])) + partials[4]
+    np.testing.assert_array_equal(reducer.reduce(partials), expected)
+
+
+def test_reduce_accepts_more_partials_than_replicas():
+    """Per-(replica, µ-batch) partials: the count exceeds num_replicas."""
+    reducer = GradientBucketReducer(2)
+    partials = [np.ones(4) for _ in range(6)]
+    np.testing.assert_array_equal(reducer.reduce(partials), np.full(4, 6.0))
+
+
+def test_reduce_preserves_float32_end_to_end():
+    """Regression: the bucket path must not drift float32 up to float64."""
+    for algorithm in REDUCE_ALGORITHMS:
+        reducer = GradientBucketReducer(
+            2, bucket_bytes=4 * WIRE_BYTES_PER_ELEMENT, algorithm=algorithm
+        )
+        partials = [np.linspace(0, 1, 11, dtype=np.float32) for _ in range(3)]
+        reduced = reducer.reduce(partials)
+        assert reduced.dtype == np.float32, algorithm
+
+
+def test_reduce_rejects_mixed_dtypes():
+    reducer = GradientBucketReducer(2)
+    with pytest.raises(ValueError, match="dtype"):
+        reducer.reduce([np.ones(4, dtype=np.float32), np.ones(4, dtype=np.float64)])
+
+
+def test_reduce_rejects_shape_mismatch_and_empty():
+    reducer = GradientBucketReducer(2)
+    with pytest.raises(ValueError):
+        reducer.reduce([np.ones(4), np.ones(5)])
+    with pytest.raises(ValueError):
+        reducer.reduce([])
+
+
+def test_reducer_validates_configuration():
+    with pytest.raises(ValueError):
+        GradientBucketReducer(0)
+    with pytest.raises(ValueError):
+        GradientBucketReducer(2, bucket_bytes=0)
+    with pytest.raises(ValueError):
+        GradientBucketReducer(2, mode="async")
+    with pytest.raises(ValueError):
+        GradientBucketReducer(2, algorithm="butterfly")
+    assert set(REDUCE_MODES) == {"sync", "overlap", "stale-1"}
+
+
+def test_bucket_times_match_hwsim_collectives():
+    cluster = single_node(4)
+    reducer = GradientBucketReducer(
+        4, bucket_bytes=64 * WIRE_BYTES_PER_ELEMENT, cluster=cluster
+    )
+    times = reducer.bucket_times(100)
+    assert len(times) == 2
+    assert times[0] == pytest.approx(
+        allreduce_time(64 * 4.0, 4, cluster.node.gpu_link)
+    )
+    assert times[1] == pytest.approx(
+        allreduce_time(36 * 4.0, 4, cluster.node.gpu_link)
+    )
+    # Multi-node ring goes hierarchical; tree composes intra + inter stages.
+    wide = multi_node(2, 4)
+    ring = GradientBucketReducer(8, cluster=wide)
+    assert ring.bucket_times(10)[0] == pytest.approx(
+        hierarchical_allreduce_time(40.0, 4, 2, wide.node.gpu_link, wide.inter_link)
+    )
+    tree = GradientBucketReducer(8, cluster=wide, algorithm="tree")
+    assert tree.bucket_times(10)[0] == pytest.approx(
+        tree_allreduce_time(40.0, 4, wide.node.gpu_link)
+        + tree_allreduce_time(40.0, 2, wide.inter_link)
+    )
+    # No cluster, or a single replica: the wire is free.
+    assert GradientBucketReducer(1, cluster=cluster).bucket_times(10) == [0.0]
+    assert GradientBucketReducer(4).bucket_times(10) == [0.0]
+
+
+def test_exposed_time_modes():
+    cluster = single_node(4)
+    kwargs = dict(bucket_bytes=64 * WIRE_BYTES_PER_ELEMENT, cluster=cluster)
+    sync = GradientBucketReducer(4, mode="sync", **kwargs)
+    overlap = GradientBucketReducer(4, mode="overlap", **kwargs)
+    stale = GradientBucketReducer(4, mode="stale-1", **kwargs)
+    times = sync.bucket_times(256)
+    compute = sum(times) * 10  # plenty of backward to hide behind
+    assert sync.exposed_time(times, compute) == pytest.approx(sum(times))
+    assert stale.exposed_time(times, compute) == 0.0
+    hidden = overlap.exposed_time(times, compute)
+    assert 0.0 <= hidden < sum(times)
+    # With no compute to hide behind, overlap degenerates to sync.
+    assert overlap.exposed_time(times, 0.0) == pytest.approx(sum(times))
+
+
+def test_exchange_preserves_dtype_and_order():
+    exchange = SparseGradientExchange(1)
+    partials = [
+        SparseGradient(
+            np.array([0, 2]), np.ones((2, 4), dtype=np.float32)
+        ),
+        SparseGradient(
+            np.array([2, 5]), np.full((2, 4), 2.0, dtype=np.float32)
+        ),
+    ]
+    merged = exchange.exchange([partials])[0]
+    assert merged.values.dtype == np.float32
+    np.testing.assert_array_equal(merged.indices, [0, 2, 5])
+    np.testing.assert_allclose(merged.values[1], np.full(4, 3.0))
+    assert exchange.last_exchanged_rows == 3
+
+
+def test_exchange_rejects_mixed_dtype_partials():
+    exchange = SparseGradientExchange(1)
+    partials = [
+        SparseGradient(np.array([0]), np.ones((1, 4), dtype=np.float32)),
+        SparseGradient(np.array([1]), np.ones((1, 4), dtype=np.float64)),
+    ]
+    with pytest.raises(ValueError, match="dtype"):
+        exchange.exchange([partials])
+
+
+def test_exchange_validates_table_count_and_routing():
+    exchange = SparseGradientExchange(2)
+    with pytest.raises(ValueError):
+        exchange.exchange([[]])
+    with pytest.raises(RuntimeError):
+        exchange.route(0, SparseGradient(np.array([0]), np.ones((1, 4))))
+    partition = PartitionedEmbeddingPlacement(
+        rows_per_table=(10, 10), num_shards=2, embedding_dim=4
+    )
+    routed = SparseGradientExchange(2, partition=partition).route(
+        0, SparseGradient(np.array([1, 7]), np.ones((2, 4)))
+    )
+    assert [piece.indices.tolist() for piece in routed] == [[1], [7]]

@@ -149,3 +149,89 @@ def test_sample_batches_mirrors_first_epoch_content(log):
     epoch = list(MiniBatchLoader(log, batch_size=100, shuffle=True, seed=4))
     for batch in loader.sample_batches(0.3, seed=2):
         assert any(np.array_equal(batch.labels, other.labels) for other in epoch)
+
+
+# ---------------------------------------------------------------------- #
+# ShardedLoader edge cases
+# ---------------------------------------------------------------------- #
+
+def test_sharded_loader_batch_not_divisible_by_shards(log):
+    """Batch 100 over K=3: shard sizes differ by at most one, order kept."""
+    from repro.data.loader import ShardedLoader
+
+    loader = MiniBatchLoader(log, batch_size=100)
+    sharded = ShardedLoader(loader, 3)
+    for shards, batch in zip(sharded, loader):
+        sizes = [shard.size for shard in shards]
+        assert sum(sizes) == batch.size == 100
+        assert max(sizes) - min(sizes) <= 1
+        # Pin the exact deal order: the balanced-split bounds formula puts
+        # the larger shards last (PartitionedEmbeddingPlacement relies on
+        # the same arithmetic).
+        assert sizes == [33, 33, 34]
+        np.testing.assert_array_equal(
+            np.concatenate([shard.labels for shard in shards]), batch.labels
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([shard.sparse for shard in shards]), batch.sparse
+        )
+
+
+def test_sharded_loader_more_shards_than_samples(log):
+    """K > batch: every batch still deals K shards, the extras empty."""
+    from repro.data.loader import ShardedLoader
+
+    loader = MiniBatchLoader(log, batch_size=5)
+    sharded = ShardedLoader(loader, 8)
+    shards = next(iter(sharded))
+    assert len(shards) == 8
+    sizes = [shard.size for shard in shards]
+    assert sum(sizes) == 5
+    assert sizes.count(0) == 3
+    # Empty shards are structurally valid MiniBatches (0, tables, pooling).
+    for shard in shards:
+        assert shard.sparse.shape[1:] == shards[0].sparse.shape[1:]
+        assert shard.dense.shape[0] == shard.labels.shape[0] == shard.size
+
+
+def test_sharded_loader_empty_shards_are_skippable_views(log):
+    """Empty shards carry no data but keep the dtype/shape contract."""
+    loader = MiniBatchLoader(log, batch_size=2)
+    batch = next(iter(loader))
+    shards = batch.shards(4)
+    empty = [shard for shard in shards if shard.size == 0]
+    assert len(empty) == 2
+    for shard in empty:
+        assert shard.labels.size == 0
+        assert shard.sparse.dtype == batch.sparse.dtype
+    # Concatenation round-trips even through the empties.
+    np.testing.assert_array_equal(
+        np.concatenate([shard.dense for shard in shards]), batch.dense
+    )
+
+
+def test_sharded_loader_single_shard_is_identity(log):
+    from repro.data.loader import ShardedLoader
+
+    loader = MiniBatchLoader(log, batch_size=128)
+    for shards, batch in zip(ShardedLoader(loader, 1), loader):
+        assert len(shards) == 1
+        assert shards[0].size == batch.size
+        np.testing.assert_array_equal(shards[0].labels, batch.labels)
+        break
+
+
+def test_sharded_trainer_handles_empty_shards(tiny_model_config, tiny_click_log):
+    """A K=8 trainer on a 5-sample batch trains only the populated shards."""
+    from repro.core.distributed import ShardedHotlineTrainer
+    from repro.models.dlrm import DLRM
+
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=1), 8, lr=0.05, sample_fraction=0.25
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    trainer.learning_phase(loader)
+    loss, popular_fraction = trainer.train_step(tiny_click_log.batch(0, 5))
+    assert np.isfinite(loss)
+    assert 0.0 <= popular_fraction <= 1.0
+    assert trainer.replica_drift() == 0.0

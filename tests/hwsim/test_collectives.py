@@ -67,3 +67,33 @@ def test_hierarchical_allreduce_adds_inter_node_cost():
     single_node = allreduce_time(num_bytes, 4, NVLINK2)
     two_nodes = hierarchical_allreduce_time(num_bytes, 4, 2, NVLINK2, INFINIBAND_100G)
     assert two_nodes > single_node
+
+
+def test_tree_allreduce_doubles_broadcast_hops():
+    from repro.hwsim.collectives import broadcast_time, tree_allreduce_time
+
+    link = NVLINK2
+    assert tree_allreduce_time(1024, 1, link) == 0.0
+    assert tree_allreduce_time(0, 8, link) == 0.0
+    # Reduce up + broadcast down: twice the one-way tree traversal.
+    assert tree_allreduce_time(1 << 20, 8, link) == pytest.approx(
+        2.0 * broadcast_time(1 << 20, 8, link)
+    )
+
+
+def test_embedding_alltoall_prices_forward_and_backward():
+    from repro.hwsim.collectives import alltoall_time, embedding_alltoall_time
+
+    link = NVLINK2
+    rows, row_bytes, p = 4096, 256.0, 4
+    expected = 2.0 * alltoall_time(rows * row_bytes / p, p, link)
+    assert embedding_alltoall_time(rows, row_bytes, p, link) == pytest.approx(expected)
+    assert embedding_alltoall_time(0, row_bytes, p, link) == 0.0
+    assert embedding_alltoall_time(rows, row_bytes, 1, link) == 0.0
+    # In the bandwidth-bound regime, more participants spread the same
+    # remote volume across more injectors (at tiny payloads the per-hop
+    # latency term dominates instead).
+    many_rows = 1 << 24
+    assert embedding_alltoall_time(many_rows, row_bytes, 8, link) < (
+        embedding_alltoall_time(many_rows, row_bytes, 4, link)
+    )

@@ -1,0 +1,191 @@
+"""Property-based tests of the bucketed all-reduce and the sparse routing.
+
+The bit-parity guarantee of the multi-replica trainer rests on structural
+invariants of :class:`~repro.core.reducer.GradientBucketReducer`: the
+per-element association order is fixed by the algorithm and the partial's
+rank — never by how elements are packed into buckets.  Hypothesis explores
+random partial sets, bucket sizes, and packings to assert:
+
+* **bucket-size invariance** — any ``bucket_bytes`` produces bit-identical
+  reductions (ring and tree);
+* **packing-permutation invariance** — permuting the element layout before
+  reduction and un-permuting after is a no-op, bit for bit;
+* **dtype preservation** — float32 partials reduce to float32 (no silent
+  upcast), the ``merge_sparse_gradients`` drift class of bug;
+* **mode ordering** — exposed communication obeys
+  ``stale-1 (0) <= overlap <= sync (total)``;
+* **partition routing** — row-wise routing of a merged sparse gradient is a
+  partition: concatenating the per-owner pieces reproduces the original,
+  and every row lands on the shard that owns it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.placement import PartitionedEmbeddingPlacement
+from repro.core.reducer import (
+    WIRE_BYTES_PER_ELEMENT,
+    GradientBucketReducer,
+    SparseGradientExchange,
+)
+from repro.hwsim.cluster import single_node
+from repro.nn.embedding import SparseGradient, merge_sparse_gradients
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, width=32)
+
+
+@st.composite
+def partial_sets(draw):
+    """A list of 1..6 equal-length float64 partial gradients."""
+    num_elements = draw(st.integers(min_value=1, max_value=257))
+    count = draw(st.integers(min_value=1, max_value=6))
+    return [
+        draw(arrays(np.float64, num_elements, elements=finite))
+        for _ in range(count)
+    ]
+
+
+@st.composite
+def bucket_reducers(draw):
+    algorithm = draw(st.sampled_from(["ring", "tree"]))
+    bucket_elements = draw(st.integers(min_value=1, max_value=300))
+    return GradientBucketReducer(
+        4,
+        bucket_bytes=bucket_elements * WIRE_BYTES_PER_ELEMENT,
+        algorithm=algorithm,
+    )
+
+
+@given(partials=partial_sets(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_bucket_size_invariance(partials, data):
+    """Any two bucket sizes produce bit-identical reductions."""
+    algorithm = data.draw(st.sampled_from(["ring", "tree"]))
+    sizes = data.draw(
+        st.lists(st.integers(1, 300), min_size=2, max_size=2, unique=True)
+    )
+    reduced = [
+        GradientBucketReducer(
+            4, bucket_bytes=size * WIRE_BYTES_PER_ELEMENT, algorithm=algorithm
+        ).reduce(partials)
+        for size in sizes
+    ]
+    np.testing.assert_array_equal(reduced[0], reduced[1])
+
+
+@given(partials=partial_sets(), reducer=bucket_reducers(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_packing_permutation_invariance(partials, reducer, data):
+    """Shuffling the element packing and unshuffling after is a no-op."""
+    num_elements = partials[0].shape[0]
+    seed = data.draw(st.integers(0, 2**32 - 1))
+    permutation = np.random.default_rng(seed).permutation(num_elements)
+    inverse = np.argsort(permutation)
+    direct = reducer.reduce(partials)
+    permuted = reducer.reduce([partial[permutation] for partial in partials])
+    np.testing.assert_array_equal(permuted[inverse], direct)
+
+
+@given(partials=partial_sets(), reducer=bucket_reducers())
+@settings(max_examples=60, deadline=None)
+def test_reduction_matches_elementwise_sum(partials, reducer):
+    """The reduced value is the element-wise sum, to float tolerance."""
+    reduced = reducer.reduce(partials)
+    np.testing.assert_allclose(
+        reduced, np.sum(partials, axis=0), rtol=1e-12, atol=1e-6
+    )
+
+
+@given(partials=partial_sets(), reducer=bucket_reducers())
+@settings(max_examples=40, deadline=None)
+def test_float32_partials_reduce_to_float32(partials, reducer):
+    """The wire dtype survives the reduction — no silent float64 upcast."""
+    down = [partial.astype(np.float32) for partial in partials]
+    reduced = reducer.reduce(down)
+    assert reduced.dtype == np.float32
+
+
+@given(
+    num_elements=st.integers(1, 4096),
+    bucket_elements=st.integers(1, 1024),
+    compute=st.floats(0.0, 1.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_mode_exposure_ordering(num_elements, bucket_elements, compute):
+    """stale-1 exposes nothing, overlap at most sync, sync the full total."""
+    cluster = single_node(4)
+    schedules = {}
+    for mode in ("sync", "overlap", "stale-1"):
+        reducer = GradientBucketReducer(
+            4,
+            bucket_bytes=bucket_elements * WIRE_BYTES_PER_ELEMENT,
+            mode=mode,
+            cluster=cluster,
+        )
+        schedules[mode] = reducer.schedule(num_elements, compute)
+    total = schedules["sync"].total_s
+    assert schedules["sync"].exposed_s == total
+    assert schedules["stale-1"].exposed_s == 0.0
+    assert 0.0 <= schedules["overlap"].exposed_s <= total + 1e-15
+    # The wire time itself is mode-independent.
+    assert schedules["overlap"].per_bucket_s == schedules["sync"].per_bucket_s
+
+
+@st.composite
+def merged_gradients(draw):
+    """A sorted-unique-index sparse gradient plus a table size bounding it."""
+    rows = draw(st.integers(min_value=1, max_value=500))
+    nnz = draw(st.integers(min_value=0, max_value=min(rows, 64)))
+    indices = draw(
+        st.lists(
+            st.integers(0, rows - 1), min_size=nnz, max_size=nnz, unique=True
+        )
+    )
+    indices = np.array(sorted(indices), dtype=np.int64)
+    values = draw(
+        arrays(np.float64, (nnz, 4), elements=st.floats(-100, 100, allow_nan=False))
+    )
+    return rows, SparseGradient(indices, values)
+
+
+@given(merged=merged_gradients(), num_shards=st.integers(1, 7))
+@settings(max_examples=60, deadline=None)
+def test_partition_routing_is_a_partition(merged, num_shards):
+    """Routed pieces concatenate back to the original, owners respected."""
+    rows, grad = merged
+    partition = PartitionedEmbeddingPlacement(
+        rows_per_table=(rows,), num_shards=num_shards, embedding_dim=4
+    )
+    routed = partition.route_gradient(0, grad)
+    assert len(routed) == num_shards
+    np.testing.assert_array_equal(
+        np.concatenate([piece.indices for piece in routed]), grad.indices
+    )
+    np.testing.assert_array_equal(
+        np.concatenate([piece.values for piece in routed], axis=0), grad.values
+    )
+    for shard, piece in enumerate(routed):
+        if piece.nnz:
+            assert set(np.unique(partition.owner_of(0, piece.indices))) == {shard}
+    # Ownership covers every row exactly once.
+    assert partition.owned_row_count(num_shards - 1) >= 0
+    assert sum(partition.owned_row_count(k) for k in range(num_shards)) == rows
+
+
+@given(merged=merged_gradients(), num_shards=st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_exchange_round_trip_preserves_merge(merged, num_shards):
+    """Exchanging split partials reproduces the plain merged gradient."""
+    rows, grad = merged
+    partition = PartitionedEmbeddingPlacement(
+        rows_per_table=(rows,), num_shards=num_shards, embedding_dim=4
+    )
+    pieces = partition.route_gradient(0, grad)
+    exchange = SparseGradientExchange(1, partition=partition)
+    merged_back = exchange.exchange([pieces])[0]
+    reference = merge_sparse_gradients(pieces)
+    np.testing.assert_array_equal(merged_back.indices, reference.indices)
+    np.testing.assert_array_equal(merged_back.values, reference.values)
+    np.testing.assert_array_equal(merged_back.indices, grad.indices)
