@@ -42,7 +42,7 @@ def test_fig05_multi_node_gpu_only_breakdown(benchmark):
             if (label, nodes) in breakdowns
         ]
         # Communication share grows monotonically with node count.
-        assert all(b >= a for a, b in zip(shares, shares[1:])), label
+        assert all(b >= a for a, b in zip(shares, shares[1:], strict=False)), label
     # At 4 nodes the communication approaches/exceeds half the iteration.
     assert comm_share(breakdowns[("Criteo Terabyte", 4)]) > 0.45
     assert comm_share(breakdowns[("Criteo Kaggle", 4)]) > 0.3

@@ -32,7 +32,7 @@ def test_fig08_segregation_core_scaling(benchmark):
         )
     )
     # Monotonically non-increasing with cores.
-    assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+    assert all(b <= a + 1e-12 for a, b in zip(times, times[1:], strict=False))
     # Plateau: 24 -> 32 cores changes nothing.
     assert times[CORE_COUNTS.index(32)] == pytest.approx(times[CORE_COUNTS.index(24)])
     # But the total improvement from 1 to 32 cores is modest (< 4x), i.e. the

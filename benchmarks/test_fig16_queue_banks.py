@@ -36,11 +36,11 @@ def test_fig16_queue_and_bank_design_space(benchmark):
     # More banks and deeper queues both increase issued requests.
     for banks in BANKS:
         values = [table[(banks, q)] for q in QUEUE_SIZES]
-        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(b >= a for a, b in zip(values, values[1:], strict=False))
         assert values[-1] <= banks
     for queue in QUEUE_SIZES:
         values = [table[(banks, queue)] for banks in BANKS]
-        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:], strict=False))
     # The paper's design point: 64 banks x 512-entry queue -> ~60 requests.
     assert 55 < table[(64, 512)] <= 64
     # 8 banks saturate at 8 requests no matter the queue depth.

@@ -39,7 +39,7 @@ def test_fig18_auc_curves_coincide(benchmark):
     rows = [
         (it_b, round(auc_b, 4), round(auc_h, 4))
         for (it_b, auc_b), (_, auc_h) in zip(
-            reference_result.auc_history, hotline_result.auc_history
+            reference_result.auc_history, hotline_result.auc_history, strict=True
         )
     ]
     print()
@@ -52,7 +52,7 @@ def test_fig18_auc_curves_coincide(benchmark):
     )
     # The two curves are identical point-for-point.
     for (it_b, auc_b), (it_h, auc_h) in zip(
-        reference_result.auc_history, hotline_result.auc_history
+        reference_result.auc_history, hotline_result.auc_history, strict=True
     ):
         assert it_b == it_h
         assert auc_h == pytest.approx(auc_b, abs=1e-9)

@@ -42,7 +42,7 @@ def test_fig25_popular_ratio_sweep(benchmark):
             title="Figure 25: hiding the non-popular gather (Criteo Terabyte, 4K batch)",
         )
     )
-    by_ratio = dict(zip(RATIOS, rows))
+    by_ratio = dict(zip(RATIOS, rows, strict=True))
     # At the paper's 3:7 point (30 % popular) the gather is still hidden.
     assert by_ratio[0.3][4] is True or by_ratio[0.3][3] < 0.1 * by_ratio[0.3][1]
     # At realistic ratios (>=60 % popular) it is always hidden.
@@ -50,4 +50,4 @@ def test_fig25_popular_ratio_sweep(benchmark):
         assert by_ratio[ratio][4] is True
     # Gather work shrinks as the popular share grows.
     gathers = [row[2] for row in rows]
-    assert all(b <= a + 1e-9 for a, b in zip(gathers, gathers[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(gathers, gathers[1:], strict=False))

@@ -39,7 +39,7 @@ def test_fig26_speedup_vs_minibatch_size(benchmark):
         # The speedup widens from 2K inputs upward and ends above where it
         # started (the paper's claim; at 1K the baseline is also throttled by
         # poor CPU thread utilisation, which slightly lifts its own cost).
-        assert all(b >= a - 0.05 for a, b in zip(speedups[1:], speedups[2:])), label
+        assert all(b >= a - 0.05 for a, b in zip(speedups[1:], speedups[2:], strict=False)), label
         assert speedups[-1] > speedups[0], label
         assert speedups[-1] > speedups[1], label
     # The embedding-dominated datasets gain the most at 16K.

@@ -59,7 +59,7 @@ def test_fig27_eal_capacity_sweep(benchmark):
     )
     for label, fractions in table.items():
         # More capacity never hurts.
-        assert all(b >= a - 0.02 for a, b in zip(fractions, fractions[1:])), label
+        assert all(b >= a - 0.02 for a, b in zip(fractions, fractions[1:], strict=False)), label
         # Diminishing returns: the final doubling adds only a modest amount
         # compared with the total range (the curve saturates).
         total_range = fractions[-1] - fractions[0]

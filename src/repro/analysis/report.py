@@ -41,7 +41,7 @@ def format_series(
     y_label: str = "y",
 ) -> str:
     """Render one figure series as aligned (x, y) pairs."""
-    rows = [(x, y) for x, y in zip(xs, ys)]
+    rows = [(x, y) for x, y in zip(xs, ys, strict=True)]
     return format_table([x_label, y_label], rows, title=name)
 
 

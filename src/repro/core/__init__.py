@@ -32,12 +32,18 @@ This package implements the paper's contribution:
   training: :class:`~repro.core.distributed.ShardedHotlineTrainer` trains
   K genuinely separate replicas synchronised through a bucketed dense
   all-reduce (:class:`~repro.core.reducer.GradientBucketReducer`, with
-  ``sync``/``overlap``/``stale-1`` modes) and a deterministic sparse
+  ``sync``/``overlap``/``stale-<k>`` modes) and a deterministic sparse
   exchange, optionally with row-partitioned embedding tables
   (:class:`~repro.core.placement.PartitionedEmbeddingPlacement`).  The
   PR 2 shared-replica path survives as
   :class:`~repro.core.distributed.MergedGradientShardedTrainer`, the
   bit-parity reference of the replica test harness.
+* :mod:`repro.core.lookahead` — the BagPipe-style bounded-staleness
+  embedding pipeline: :class:`~repro.core.lookahead.CachedEmbeddingPipeline`
+  walks the loader's eager epoch order a window ahead, prefetches upcoming
+  rows into a coherent per-replica cache (HotSetIndex bitmaps), and defers
+  sparse write-backs until a row leaves the window or hits the staleness
+  bound.
 """
 
 from repro.core.accelerator import (
@@ -69,6 +75,11 @@ from repro.core.engine import (
 )
 from repro.core.hotset import HotSetIndex, as_hot_set_index
 from repro.core.isa import AcceleratorInterpreter, Instruction, InstructionDriver, Opcode
+from repro.core.lookahead import (
+    CachedEmbeddingPipeline,
+    LookaheadStats,
+    epoch_row_stream,
+)
 from repro.core.lookup_engine import FeistelRandomizer, LookupEngine, LookupEngineArray
 from repro.core.pipeline import HotlineTrainer, ReferenceTrainer
 from repro.core.placement import EmbeddingPlacement, PartitionedEmbeddingPlacement
@@ -122,4 +133,7 @@ __all__ = [
     "ShardedHotlineTrainer",
     "MergedGradientShardedTrainer",
     "ShardReplica",
+    "CachedEmbeddingPipeline",
+    "LookaheadStats",
+    "epoch_row_stream",
 ]

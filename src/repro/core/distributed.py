@@ -17,9 +17,22 @@ and no per-shard parameter state.  This module removes it:
   partials bucket by bucket in one fixed rank-major order, and every
   replica applies the same reduced gradient.  The reducer's ``mode`` knob
   selects ``sync`` (communication exposed after backward), ``overlap``
-  (buckets pipeline behind backward; numerics unchanged), or ``stale-1``
-  (communication fully hidden; the reduced dense gradient is applied one
-  step late — the only mode that changes numerics).
+  (buckets pipeline behind backward; numerics unchanged), or ``stale-<k>``
+  (a k-deep deque of in-flight reduces: each step's reduce may hide under
+  the next k compute windows and the reduced dense gradient lands k steps
+  late — ``stale-0`` is exactly ``sync`` and keeps the bit-parity
+  guarantee; any ``k > 0`` changes numerics but stays deterministic and
+  drift-free).
+* **Bounded-staleness embedding pipeline** — with ``lookahead_window=W``
+  a :class:`~repro.core.lookahead.CachedEmbeddingPipeline` walks the
+  loader's eagerly-drawn epoch order W batches ahead of training
+  (BagPipe-style), prefetches the rows upcoming batches touch into a
+  coherent per-replica cache (priced via
+  :func:`~repro.hwsim.collectives.cache_fill_time`), and defers merged
+  sparse-gradient write-backs until a row leaves the window or the
+  reducer's staleness bound ``k`` is hit.  With ``k = 0`` the pipeline is
+  pure accounting (bit-identical numerics); cache hit/staleness counters
+  surface through :class:`~repro.core.engine.StepOutcome`.
 * **Sparse gradients** go through
   :class:`~repro.core.reducer.SparseGradientExchange` — per-table merge in
   deterministic ``(replica, µ-batch)`` order, exactly the accumulation a
@@ -57,6 +70,7 @@ lookups.
 from __future__ import annotations
 
 import copy
+from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
@@ -66,6 +80,7 @@ from repro.baselines.base import ExecutionModel
 from repro.core.accelerator import HotlineAccelerator
 from repro.core.classifier import split_minibatch
 from repro.core.engine import StepExecutor, StepOutcome, TrainingEngine, TrainingResult
+from repro.core.lookahead import CachedEmbeddingPipeline, epoch_row_stream
 from repro.core.placement import EmbeddingPlacement, PartitionedEmbeddingPlacement
 from repro.core.reducer import GradientBucketReducer, SparseGradientExchange
 from repro.data.batch import MiniBatch
@@ -145,7 +160,7 @@ class _ShardedTrainerBase(StepExecutor):
         """
         sampled = loader.sample_batches(self.sample_fraction, seed=seed)
         for batch in sampled:
-            for shard_batch, replica in zip(batch.shards(self.num_shards), self.replicas):
+            for shard_batch, replica in zip(batch.shards(self.num_shards), self.replicas, strict=True):
                 if shard_batch.size:
                     replica.accelerator.learn_from_batch(shard_batch.sparse)
         config = self.model.config
@@ -249,7 +264,7 @@ class MergedGradientShardedTrainer(_ShardedTrainerBase):
         partial_sparse: list[list[SparseGradient]] = [
             [] for _ in range(self.model.config.num_sparse_features)
         ]
-        for shard_batch, replica in zip(batch.shards(self.num_shards), self.replicas):
+        for shard_batch, replica in zip(batch.shards(self.num_shards), self.replicas, strict=True):
             if shard_batch.size == 0:
                 continue
             micro = split_minibatch(shard_batch, replica.placement.index)
@@ -271,24 +286,29 @@ class MergedGradientShardedTrainer(_ShardedTrainerBase):
         popular_fraction = popular_size / batch.size if batch.size else 0.0
         return total_loss, popular_fraction
 
-    _dense_sync_time_cache: float | None = None
+    #: ``(config key, wire time)`` of the most recent pricing, or ``None``.
+    _dense_sync_time_cache: tuple[tuple, float] | None = None
 
     def dense_sync_time(self) -> float:
         """Simulated dense all-reduce, priced as one unbucketed collective.
 
-        The gradient size and cluster are fixed for a run, so the constant
-        wire time is computed once and cached.
+        The wire time is constant while the gradient size, shard count, and
+        cluster stay fixed, so it is cached — but the cache is *keyed* on
+        that configuration: a trainer reconfigured mid-run (e.g. a swapped
+        cluster) re-prices instead of reporting the stale time.
         """
-        if self._dense_sync_time_cache is None:
+        key = (self.num_shards, self.model.num_dense_parameters, self.cluster)
+        if self._dense_sync_time_cache is None or self._dense_sync_time_cache[0] != key:
             reducer = GradientBucketReducer(
                 self.num_shards,
                 bucket_bytes=max(4, self.model.num_dense_parameters * 4),
                 cluster=self.cluster,
             )
-            self._dense_sync_time_cache = float(
-                sum(reducer.bucket_times(self.model.num_dense_parameters))
+            self._dense_sync_time_cache = (
+                key,
+                float(sum(reducer.bucket_times(self.model.num_dense_parameters))),
             )
-        return self._dense_sync_time_cache
+        return self._dense_sync_time_cache[1]
 
     def run_step(self, batch: MiniBatch) -> StepOutcome:
         """One merged step reported to the engine with its comm term."""
@@ -324,11 +344,13 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         seed: Base seed; shard k's accelerator is seeded ``seed + k`` so
             the per-shard EALs track their own access streams.
         bucket_bytes: Fixed wire-byte bucket size of the dense all-reduce.
-        mode: ``"sync"`` / ``"overlap"`` / ``"stale-1"`` — see
-            :class:`~repro.core.reducer.GradientBucketReducer`.  ``sync``
-            and ``overlap`` are bit-identical to the merged-gradient
-            reference; ``stale-1`` applies the reduced dense gradient one
-            step late.
+        mode: ``"sync"`` / ``"overlap"`` / ``"stale-<k>"`` — see
+            :class:`~repro.core.reducer.GradientBucketReducer`.  ``sync``,
+            ``overlap``, and ``stale-0`` are bit-identical to the
+            merged-gradient reference; ``stale-k`` (k > 0) applies the
+            reduced dense gradient k steps late through a k-deep deque of
+            in-flight reduces (deterministic and drift-free, but a
+            different trajectory).
         algorithm: ``"ring"`` or ``"tree"`` association order.  Only
             ``"ring"`` carries the bit-parity guarantee (it reproduces the
             reference's sequential accumulation); ``"tree"`` is a
@@ -336,8 +358,18 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         partition_embeddings: Row-partition every embedding table across the
             K shards (hybrid data+model parallelism).  Affects memory and
             communication accounting only — never numerics.
+        lookahead_window: Enable the BagPipe-style
+            :class:`~repro.core.lookahead.CachedEmbeddingPipeline` with a
+            window of this many batches (0 disables it).  The pipeline
+            shares the reducer's staleness bound: sparse write-backs defer
+            until a row leaves the window or is k steps stale, so with
+            ``sync``/``stale-0`` it is pure accounting (numerics
+            untouched).
         reducer: Optional pre-built reducer (overrides ``bucket_bytes`` /
-            ``mode`` / ``algorithm``).
+            ``mode`` / ``algorithm``).  The trainer's cluster is
+            authoritative for pricing: the reducer is re-pointed at it on
+            the first priced step, so a mid-run ``trainer.cluster`` swap
+            re-prices every communication term consistently.
     """
 
     def __init__(
@@ -355,6 +387,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         mode: str = "sync",
         algorithm: str = "ring",
         partition_embeddings: bool = False,
+        lookahead_window: int = 0,
         reducer: GradientBucketReducer | None = None,
     ):
         super().__init__(
@@ -391,11 +424,34 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         self.exchange = SparseGradientExchange(
             config.num_sparse_features, partition=self.partition
         )
-        #: Reduced dense gradient awaiting application (``stale-1`` only).
-        self._pending_dense: np.ndarray | None = None
-        #: Cached per-bucket wire times (constant: the gradient size, bucket
-        #: layout, and cluster never change across a run).
+        if lookahead_window < 0:
+            raise ValueError("lookahead_window must be >= 0")
+        #: Optional BagPipe-style cached-embedding lookahead pipeline.
+        self.lookahead: CachedEmbeddingPipeline | None = None
+        if lookahead_window > 0:
+            self.lookahead = CachedEmbeddingPipeline(
+                tuple(config.dataset.rows_per_table),
+                window=lookahead_window,
+                staleness=self.reducer.staleness,
+                row_bytes=config.embedding_dim * config.dtype_bytes,
+                # Fills cross the owner all-to-all only when tables are
+                # actually partitioned; with fully-replicated tables every
+                # shard fills straight from its host DRAM (DMA term only),
+                # so a non-partitioned run never pays a remote owner that
+                # does not exist.
+                num_replicas=num_shards if partition_embeddings else 1,
+                link=self._fill_link(),
+            )
+        #: Reduced dense gradients in flight (``stale-k``: a k-deep deque —
+        #: the gradient of step t is applied at step t + k).
+        self._pending_dense: deque[np.ndarray | None] = deque()
+        #: Cached per-bucket wire times, keyed on the reducer configuration
+        #: and gradient size so a mid-run reconfiguration re-prices.
         self._bucket_times: list[float] | None = None
+        self._bucket_times_key: tuple | None = None
+        #: Loader bound by the engine (drives the lookahead epoch stream).
+        self._bound_loader: MiniBatchLoader | None = None
+        self._epoch_step = 0
         #: Remote (non-owned) lookups of the most recent step, all shards.
         self.last_remote_lookups: int = 0
         #: Merged sparse-gradient rows routed to owners in the last step.
@@ -431,6 +487,67 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             offset += param.size
 
     # ------------------------------------------------------------------ #
+    # Lookahead plumbing
+    # ------------------------------------------------------------------ #
+    def _fill_link(self):
+        """The link cache fills travel over (follows the live cluster)."""
+        return (
+            self.cluster.inter_link
+            if self.cluster.num_nodes > 1
+            else self.cluster.node.gpu_link
+        )
+
+    def bind(self, loader: MiniBatchLoader) -> None:
+        """Prepare placements; start the run from a clean staleness state.
+
+        A reused trainer must not leak one run's in-flight synchronisation
+        into the next: the dense stale-k deque still holds the last k
+        reduces of the previous run, and the lookahead still holds its
+        deferred write-backs — both belong to the old schedule and are
+        dropped here, so run B's first steps never apply run A's
+        gradients.
+        """
+        super().bind(loader)
+        self._bound_loader = loader
+        self._epoch_step = 0
+        self._pending_dense.clear()
+        if self.lookahead is not None:
+            self.lookahead.reset()
+
+    def _advance_lookahead(self, batch: MiniBatch) -> None:
+        """Drive the cached pipeline's epoch window for one step.
+
+        At each epoch boundary the pipeline restarts on the loader's
+        freshly (and eagerly) drawn epoch order; anything still deferred
+        from the previous epoch is applied first, *before* this step's
+        forward pass, so no gradient is ever lost across epochs.  Without a
+        bound loader the pipeline self-feeds (no lookahead, same
+        guarantees).
+        """
+        assert self.lookahead is not None
+        # The pipeline shares the reducer's *live* staleness bound and the
+        # *live* cluster link, so a mid-run reconfiguration (mode flip,
+        # cluster swap) keeps sparse staleness and fill pricing in step
+        # with the dense path (defer flushes any over-aged backlog on its
+        # own).
+        self.lookahead.staleness = self.reducer.staleness
+        self.lookahead.link = self._fill_link()
+        epoch_len = len(self._bound_loader) if self._bound_loader is not None else 0
+        if self._epoch_step == 0 or (epoch_len and self._epoch_step >= epoch_len):
+            stream = (
+                epoch_row_stream(self._bound_loader)
+                if self._bound_loader is not None
+                else None
+            )
+            carry = self.lookahead.begin_epoch(stream)
+            if carry is not None:
+                for replica in self.replicas:
+                    replica.model.apply_sparse_updates(carry, self.lr)
+            self._epoch_step = 0
+        self._epoch_step += 1
+        self.lookahead.observe(batch.sparse)
+
+    # ------------------------------------------------------------------ #
     # Acceleration phase
     # ------------------------------------------------------------------ #
     def train_step(self, batch: MiniBatch) -> tuple[float, float]:
@@ -442,15 +559,21 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         to the merged reference's in-layer accumulation), the sparse
         exchange merges per-table partials in the same order, and every
         replica applies the identical update — so replicas never drift.
-        In ``stale-1`` mode the reduced dense gradient is applied one step
-        late (the first step applies none), modelling fully-hidden
-        communication at the cost of staleness.
+        In ``stale-k`` mode (k > 0) the reduced dense gradient is applied
+        ``k`` steps late through a k-deep deque (the first k steps apply
+        none), modelling a pipeline of in-flight reduces at the cost of
+        staleness; with a lookahead pipeline attached, merged sparse
+        gradients defer under the same bound (flush on window exit or at
+        age k).  Staleness is uniform across replicas either way, so they
+        still never drift.
 
         Returns:
             ``(loss, popular_fraction)`` summed / averaged over the batch.
         """
         if any(replica.placement is None for replica in self.replicas):
             raise RuntimeError("learning_phase must run before training")
+        if self.lookahead is not None:
+            self._advance_lookahead(batch)
         total_loss = 0.0
         popular_size = 0
         dense_partials: list[np.ndarray] = []
@@ -459,7 +582,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         ]
         remote_lookups = 0
         for shard_id, (shard_batch, replica) in enumerate(
-            zip(batch.shards(self.num_shards), self.replicas)
+            zip(batch.shards(self.num_shards), self.replicas, strict=True)
         ):
             if shard_batch.size == 0:
                 continue
@@ -498,14 +621,28 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
                 for piece in self.exchange.route(table, grad)
             )
 
-        if self.reducer.mode == "stale-1":
-            to_apply, self._pending_dense = self._pending_dense, reduced
+        # The k-deep staleness pipeline: this step's reduce joins the queue
+        # and everything deeper than the *current* bound drains out.  One
+        # pop per step in steady state; if the bound shrank mid-run (a
+        # reconfigured reducer), the whole backlog drains this step rather
+        # than being stranded in the deque — no gradient is ever dropped.
+        staleness = self.reducer.staleness
+        self._pending_dense.append(reduced)
+        dense_updates: list[np.ndarray] = []
+        while len(self._pending_dense) > staleness:
+            popped = self._pending_dense.popleft()
+            if popped is not None:
+                dense_updates.append(popped)
+        if self.lookahead is not None:
+            # Staleness was synced from the reducer in _advance_lookahead;
+            # defer flushes any over-aged backlog on its own.
+            sparse_updates = self.lookahead.defer(merged)
         else:
-            to_apply = reduced
+            sparse_updates = merged
         for replica in self.replicas:
-            if to_apply is not None:
-                self._apply_dense_gradient(replica.model, to_apply)
-            replica.model.apply_sparse_updates(merged, self.lr)
+            for flat in dense_updates:
+                self._apply_dense_gradient(replica.model, flat)
+            replica.model.apply_sparse_updates(sparse_updates, self.lr)
         popular_fraction = popular_size / batch.size if batch.size else 0.0
         return total_loss, popular_fraction
 
@@ -523,10 +660,12 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         drift = 0.0
         for replica in self.replicas[1:]:
             for (param, _), (other, _) in zip(
-                reference.dense_parameters(), replica.model.dense_parameters()
+                reference.dense_parameters(), replica.model.dense_parameters(), strict=True
             ):
                 drift = max(drift, float(np.max(np.abs(param - other), initial=0.0)))
-            for table, other_table in zip(reference.tables, replica.model.tables):
+            for table, other_table in zip(
+                reference.tables, replica.model.tables, strict=True
+            ):
                 drift = max(
                     drift, float(np.max(np.abs(table.weight - other_table.weight), initial=0.0))
                 )
@@ -536,9 +675,23 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
     # Simulated timing
     # ------------------------------------------------------------------ #
     def _step_bucket_times(self) -> list[float]:
-        """Per-bucket wire times of one step's dense all-reduce (cached)."""
-        if self._bucket_times is None:
+        """Per-bucket wire times of one step's dense all-reduce.
+
+        Cached, but keyed on the reducer's configuration signature and the
+        gradient size: a reducer reconfigured (or swapped) mid-run — bucket
+        bytes, mode, replica count, cluster — re-prices the schedule
+        instead of reporting stale wire times.
+        """
+        # The trainer's cluster is authoritative for *all* of its pricing
+        # (dense wire, lookups all-to-all, cache fills): a mid-run
+        # ``trainer.cluster`` swap re-prices the bucket schedule too, not
+        # just the sparse paths.
+        if self.reducer.cluster is not self.cluster:
+            self.reducer.cluster = self.cluster
+        key = (self.reducer.signature, self.model.num_dense_parameters)
+        if self._bucket_times is None or self._bucket_times_key != key:
             self._bucket_times = self.reducer.bucket_times(self.model.num_dense_parameters)
+            self._bucket_times_key = key
         return self._bucket_times
 
     def dense_sync_time(self) -> float:
@@ -549,28 +702,52 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         """Priced all-to-all of remotely-owned lookups (partitioned runs)."""
         if self.partition is None or remote_lookups <= 0:
             return 0.0
-        link = (
-            self.cluster.inter_link
-            if self.cluster.num_nodes > 1
-            else self.cluster.node.gpu_link
-        )
         return embedding_alltoall_time(
-            float(remote_lookups), self.partition.row_bytes, self.num_shards, link
+            float(remote_lookups),
+            self.partition.row_bytes,
+            self.num_shards,
+            self._fill_link(),
         )
 
     # ------------------------------------------------------------------ #
     # StepExecutor interface
     # ------------------------------------------------------------------ #
     def run_step(self, batch: MiniBatch) -> StepOutcome:
-        """One replicated step with its per-bucket communication schedule."""
+        """One replicated step with its per-bucket communication schedule.
+
+        The exposed communication term combines the reducer's bucket
+        schedule, the partitioned-lookup all-to-all, and the lookahead
+        prefetch tail (fill traffic runs W steps ahead, so only the part
+        that outlives one compute window is exposed); the cache and
+        staleness counters come straight from the pipeline's step stats.
+
+        With the lookahead attached, the per-lookup all-to-all of
+        partitioned runs is *not* charged: every looked-up row sits in the
+        window cache, whose fills already paid the owner round-trip
+        (:func:`~repro.hwsim.collectives.cache_fill_time`) — the BagPipe
+        trade of per-lookup exchange for per-fill prefetch traffic.
+        ``last_remote_lookups`` keeps reporting the avoided volume.
+        """
         loss, popular_fraction = self.train_step(batch)
         compute = self.shard_compute_time(batch.size)
         bucket_times = self._step_bucket_times()
         exposed = self.reducer.exposed_time(bucket_times, compute)
+        stats = self.lookahead.last_stats if self.lookahead is not None else None
+        prefetch = stats.prefetch_time_s if stats is not None else 0.0
+        exposed_prefetch = max(0.0, prefetch - compute)
+        lookup_alltoall = (
+            0.0 if self.lookahead is not None
+            else self.alltoall_time(self.last_remote_lookups)
+        )
         return StepOutcome(
             loss=loss,
             popular_fraction=popular_fraction,
             compute_time_s=compute,
-            communication_time_s=exposed + self.alltoall_time(self.last_remote_lookups),
+            communication_time_s=exposed + lookup_alltoall + exposed_prefetch,
             bucket_times_s=tuple(bucket_times),
+            cache_hits=stats.cache_hits if stats is not None else 0,
+            cache_misses=stats.cache_misses if stats is not None else 0,
+            cache_fill_rows=stats.fill_rows if stats is not None else 0,
+            stale_rows=stats.stale_rows if stats is not None else 0,
+            prefetch_time_s=prefetch,
         )

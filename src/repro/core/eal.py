@@ -239,7 +239,7 @@ class OracleLFUTracker:
         batch, num_tables, pooling = sparse.shape
         for table in range(num_tables):
             values, counts = np.unique(sparse[:, table, :].reshape(-1), return_counts=True)
-            for value, count in zip(values, counts):
+            for value, count in zip(values, counts, strict=True):
                 key = (table, int(value))
                 self._counts[key] = self._counts.get(key, 0) + int(count)
 

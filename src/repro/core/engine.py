@@ -61,6 +61,15 @@ class TrainingResult:
             steps: ``bucket_comm_s[i]`` is the total wire time bucket ``i``
             spent on the simulated links across the run, hidden or not.
             Empty for executors without a bucketed reducer.
+        cache_hits: Embedding lookups served by already-cached rows across
+            the run (lookahead-cache executors only; see
+            :class:`~repro.core.lookahead.CachedEmbeddingPipeline`).
+        cache_misses: Embedding lookups whose row needed a fresh cache fill.
+        cache_fill_rows: Unique rows DMA'd into the lookahead cache.
+        stale_rows: Deferred row updates flushed by the staleness bound.
+        prefetch_time_s: Total priced lookahead fill/write-back traffic,
+            hidden or not (the exposed tail is already folded into
+            ``communication_time_s``).
         final_metrics: Final validation accuracy / AUC / log-loss.
     """
 
@@ -71,6 +80,11 @@ class TrainingResult:
     compute_time_s: float = 0.0
     communication_time_s: float = 0.0
     bucket_comm_s: list[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_fill_rows: int = 0
+    stale_rows: int = 0
+    prefetch_time_s: float = 0.0
     final_metrics: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -84,6 +98,12 @@ class TrainingResult:
         if not self.popular_fractions:
             return 0.0
         return float(np.mean(self.popular_fractions))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of embedding lookups served without a fresh cache fill."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 def evaluate(model, batch: MiniBatch) -> dict[str, float]:
@@ -111,6 +131,13 @@ class StepOutcome:
             all-reduce, in bucket order (empty when the executor has no
             bucketed reducer).  May sum to more than
             ``communication_time_s`` when buckets overlap compute.
+        cache_hits: Lookahead-cache hits of the step's embedding lookups
+            (zero for executors without a cached pipeline).
+        cache_misses: Lookups whose row needed a fresh cache fill.
+        cache_fill_rows: Unique rows filled into the cache this step.
+        stale_rows: Deferred row updates flushed by the staleness bound.
+        prefetch_time_s: Priced cache fill/write-back traffic of the step,
+            hidden or not.
     """
 
     loss: float
@@ -118,6 +145,11 @@ class StepOutcome:
     compute_time_s: float = 0.0
     communication_time_s: float = 0.0
     bucket_times_s: tuple[float, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_fill_rows: int = 0
+    stale_rows: int = 0
+    prefetch_time_s: float = 0.0
 
     @property
     def step_time_s(self) -> float:
@@ -240,6 +272,11 @@ class TrainingEngine:
                 result.compute_time_s += outcome.compute_time_s
                 result.communication_time_s += outcome.communication_time_s
                 result.simulated_time_s += outcome.step_time_s
+                result.cache_hits += outcome.cache_hits
+                result.cache_misses += outcome.cache_misses
+                result.cache_fill_rows += outcome.cache_fill_rows
+                result.stale_rows += outcome.stale_rows
+                result.prefetch_time_s += outcome.prefetch_time_s
                 if outcome.bucket_times_s:
                     if len(result.bucket_comm_s) < len(outcome.bucket_times_s):
                         result.bucket_comm_s.extend(

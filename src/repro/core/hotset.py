@@ -92,6 +92,16 @@ class HotSetIndex:
         """Length of one table's bitmap."""
         return int(self._bitmaps[table].shape[0])
 
+    def hot_count(self, table: int) -> int:
+        """Number of set bits in one table's bitmap.
+
+        A popcount straight off the bitmap: unlike ``hot_sets[table].size``
+        it never rebuilds the lazily-invalidated id arrays, so callers that
+        only need occupancy (the lookahead cache's accounting) stay
+        O(table)/vectorised with no allocation of the id list.
+        """
+        return int(np.count_nonzero(self._bitmaps[table]))
+
     def contains(self, table: int, rows: np.ndarray) -> np.ndarray:
         """Vectorised membership test: True where ``rows`` is hot.
 

@@ -109,7 +109,7 @@ class InstructionDriver:
         program: list[Instruction] = []
         for slot, rows in enumerate(sample_indices):
             hot_mask = index.contains(0, np.asarray(rows, dtype=np.int64))
-            for row, is_hot in zip(rows, hot_mask):
+            for row, is_hot in zip(rows, hot_mask, strict=True):
                 row = int(row)
                 if is_hot:
                     program.append(self.gather_row_from_gpu(gpu_id, table, row))

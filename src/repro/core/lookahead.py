@@ -1,0 +1,446 @@
+"""BagPipe-style cached-embedding lookahead with bounded staleness.
+
+Hotline hides the *dense* synchronisation by overlapping the accelerator
+lane with CPU-side work; BagPipe (Agarwal et al.) shows the bigger win on
+the *sparse* side: a **lookahead window** over the next ``W`` mini-batches
+tells the trainer exactly which embedding rows the near future needs, so a
+prefetcher can pull them into a per-replica cache ahead of time and the
+optimizer can defer row write-backs while a row is still hot in the window.
+:class:`CachedEmbeddingPipeline` maps that design onto this repo's
+functional trainers:
+
+* **Window** — the loader draws each epoch's sample order eagerly
+  (``MiniBatchLoader.last_epoch_order``), so the pipeline can walk the
+  *exact* upcoming batches of the in-flight epoch without touching the
+  shuffling RNG.  At training step ``i`` the window holds batches
+  ``[i, i + W]``: batch ``i + W`` *enters* (is examined and prefetched)
+  while batch ``i`` trains, and batch ``i`` *retires* when its step ends —
+  the same in-flight set BagPipe's lookahead process maintains.
+* **Cache coherence** — cache membership is a per-table
+  :class:`~repro.core.hotset.HotSetIndex` bitmap plus a per-row reference
+  count of the window batches using the row.  A row is *filled* (DMA'd in)
+  when the first window batch referencing it enters, and *evicted* when the
+  last one retires.  Every replica fills the identical rows and applies the
+  identical merged gradients, so the K per-replica caches stay coherent
+  without any extra traffic — the same argument that lets
+  :class:`~repro.core.placement.PartitionedEmbeddingPlacement` change
+  accounting but never numerics; the pipeline therefore models one logical
+  cache instance.
+* **Flush rule (bounded staleness)** — merged sparse gradients of cached
+  rows are *deferred*: they accumulate in the cache and only write back
+  when the row leaves the window (eviction) or when the oldest deferred
+  contribution reaches the staleness bound ``k`` — whichever comes first.
+  Reads in between see the row at most ``k`` steps stale, the bounded
+  staleness BagPipe proves convergence-safe.  ``k = 0`` flushes everything
+  immediately, making the pipeline pure accounting: training is
+  bit-identical to the non-cached run (the parity harness asserts it).
+* **Pricing** — fill traffic is priced per step with
+  :func:`~repro.hwsim.collectives.cache_fill_time`: the all-to-all
+  round-trip with each row's owner plus the cache-fill DMA gather from host
+  DRAM; evictions add the write-back DMA term.  Like the bucketed reducer,
+  a pipeline built without a link prices everything at zero (numeric /
+  accounting-only use).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hotset import HotSetIndex
+from repro.hwsim.collectives import cache_fill_time
+from repro.hwsim.dma import DMAEngine
+from repro.hwsim.interconnect import Link
+from repro.nn.embedding import SparseGradient, merge_sparse_gradients
+
+
+@dataclass
+class LookaheadStats:
+    """Observations of one training step of the cached pipeline.
+
+    Attributes:
+        cache_hits: Lookups of the trained batch whose row was already
+            cached when the batch entered the window (prefetched for free
+            by an earlier in-flight batch).
+        cache_misses: Lookups whose row had to be freshly filled when the
+            batch entered the window.
+        fill_rows: Unique rows DMA'd into the cache while this step trained
+            (the fills of every window entry pulled during the step).
+        evicted_rows: Cached rows written back because they left the window.
+        stale_rows: Deferred rows flushed because their oldest contribution
+            reached the staleness bound — including a schedule's backlog
+            written back when its epoch ends or the bound drops to zero.
+        prefetch_time_s: Priced fill + write-back traffic of the step
+            (all-to-all and DMA terms); hidden behind compute unless it
+            outlives the step's compute window.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fill_rows: int = 0
+    evicted_rows: int = 0
+    stale_rows: int = 0
+    prefetch_time_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of the step's lookups served without a fresh fill."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class _WindowEntry:
+    """One in-flight batch of the lookahead window."""
+
+    __slots__ = ("fresh", "rows")
+
+    def __init__(self, rows: list[np.ndarray], fresh: list[np.ndarray]):
+        self.rows = rows  # per-table sorted unique rows the batch touches
+        self.fresh = fresh  # per-table subset filled by this entry
+
+
+def _in_sorted(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Vectorised membership of ``needles`` in a sorted unique ``haystack``."""
+    if haystack.size == 0 or needles.size == 0:
+        return np.zeros(needles.shape, dtype=bool)
+    slots = np.searchsorted(haystack, needles)
+    mask = slots < haystack.size
+    mask[mask] = haystack[slots[mask]] == needles[mask]
+    return mask
+
+
+def epoch_row_stream(loader) -> Iterator[list[np.ndarray]]:
+    """Per-batch, per-table unique-row arrays of the loader's current epoch.
+
+    Mirrors the batches of the epoch the loader most recently started
+    (``loader.last_epoch_order``, drawn eagerly before iteration begins)
+    by slicing the click log directly — the loader's shuffling RNG is never
+    touched, so walking ahead here cannot perturb the training stream.
+    """
+    order = getattr(loader, "last_epoch_order", None)
+    log = loader.log
+    for start, stop in loader.batch_bounds():
+        block = log.sparse[start:stop] if order is None else log.sparse[order[start:stop]]
+        yield [np.unique(block[:, table, :]) for table in range(block.shape[1])]
+
+
+class CachedEmbeddingPipeline:
+    """Lookahead-window embedding cache with bounded-staleness write-back.
+
+    Drive it once per training step, in order:
+
+    1. :meth:`observe` with the step's ``(batch, tables, pooling)`` index
+       block *before* the forward pass — advances the window (prefetching
+       the batch entering it) and accounts the step's cache hits.
+    2. :meth:`defer` with the step's merged per-table sparse gradients
+       *after* the backward pass — accumulates them into the cache, retires
+       the trained batch, and returns the per-table gradients that must be
+       applied **now** (evicted rows + rows at the staleness bound).
+
+    :meth:`begin_epoch` resets the window onto a fresh batch stream
+    (normally :func:`epoch_row_stream`) and returns any still-deferred
+    gradient from the previous epoch for the caller to apply first.  With
+    no stream the pipeline self-feeds from the observed batches — the
+    window degenerates to the current batch (no lookahead), but every
+    guarantee still holds.
+
+    Args:
+        rows_per_table: Embedding-table sizes (bounds the cache bitmaps).
+        window: Lookahead depth ``W`` — how many batches beyond the current
+            one are prefetched and kept cached.
+        staleness: Bound ``k`` on how many steps a deferred row update may
+            wait before it must write back.  ``0`` = immediate application
+            (numerics identical to an uncached run).
+        row_bytes: Wire/DMA bytes per embedding row.
+        num_replicas: Data-parallel replicas filling their (coherent) caches.
+        link: Interconnect pricing the fill all-to-all; ``None`` prices all
+            traffic at zero (accounting-only use).
+        dma: DMA engine whose counters track fill/write-back bytes; a
+            private engine is created when omitted.
+    """
+
+    def __init__(
+        self,
+        rows_per_table: tuple[int, ...],
+        *,
+        window: int,
+        staleness: int = 0,
+        row_bytes: int = 4,
+        num_replicas: int = 1,
+        link: Link | None = None,
+        dma: DMAEngine | None = None,
+    ):
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        if row_bytes <= 0 or num_replicas <= 0:
+            raise ValueError("row_bytes and num_replicas must be positive")
+        self.rows_per_table = tuple(int(rows) for rows in rows_per_table)
+        self.window = int(window)
+        self.staleness = int(staleness)
+        self.row_bytes = int(row_bytes)
+        self.num_replicas = int(num_replicas)
+        self.link = link
+        self.dma = dma or DMAEngine()
+        num_tables = len(self.rows_per_table)
+        #: Cache membership: one HotSetIndex bitmap per table.
+        self.cache = HotSetIndex(
+            [np.empty(0, dtype=np.int64) for _ in range(num_tables)],
+            self.rows_per_table,
+        )
+        self._refcounts = [np.zeros(rows, dtype=np.int32) for rows in self.rows_per_table]
+        self._entries: deque[_WindowEntry] = deque()
+        self._stream: Iterator[list[np.ndarray]] | None = None
+        self._pending: list[dict[int, np.ndarray]] = [{} for _ in range(num_tables)]
+        self._births: list[dict[int, int]] = [{} for _ in range(num_tables)]
+        self._step = 0
+        #: Epoch-carry write-back charge folded into the next step's stats.
+        self._carry_rows = 0
+        self._carry_time_s = 0.0
+        #: Stats of the most recent observe/defer cycle.
+        self.last_stats = LookaheadStats()
+
+    @property
+    def num_tables(self) -> int:
+        """Number of cached embedding tables."""
+        return len(self.rows_per_table)
+
+    @property
+    def cached_rows_total(self) -> int:
+        """Current cache occupancy across tables (bitmap popcount)."""
+        return sum(self.cache.hot_count(table) for table in range(self.num_tables))
+
+    @property
+    def pending_rows_total(self) -> int:
+        """Deferred (not yet written back) rows across tables."""
+        return sum(len(pending) for pending in self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Epoch lifecycle
+    # ------------------------------------------------------------------ #
+    def begin_epoch(
+        self, stream: Iterator[list[np.ndarray]] | None
+    ) -> list[SparseGradient] | None:
+        """Reset the window onto a new epoch's batch stream.
+
+        Returns the per-table gradient of everything still deferred from
+        the previous epoch (the caller applies it before the next forward
+        pass), or ``None`` when nothing was pending.  The cache itself is
+        cleared: a shuffled epoch invalidates the old window.  The carry
+        writes back like any other flush, so its rows and DMA traffic are
+        charged — folded into the *next* step's stats, since the boundary
+        itself has no step of its own.
+        """
+        carry = self._flush_all()
+        if carry is not None:
+            rows = sum(grad.nnz for grad in carry)
+            self._carry_rows += rows
+            if self.link is not None and rows:
+                self._carry_time_s += self.dma.write_time(
+                    rows * self.row_bytes, scattered=True
+                )
+        self._reset_window(stream)
+        return carry
+
+    def reset(self) -> None:
+        """Discard all in-flight state: window, cache, deferred write-backs.
+
+        For a trainer re-bound to start a fresh run: the deferred gradients
+        belong to the previous run's schedule and are *dropped*, not
+        carried (mirroring the dense stale-k deque, whose in-flight reduces
+        die with their run) — applying them would contaminate the new run
+        with the old run's data.
+        """
+        for pending, births in zip(self._pending, self._births, strict=True):
+            pending.clear()
+            births.clear()
+        self._reset_window(None)
+        self._step = 0
+        self._carry_rows = 0
+        self._carry_time_s = 0.0
+        self.last_stats = LookaheadStats()
+
+    def _reset_window(self, stream: Iterator[list[np.ndarray]] | None) -> None:
+        self._stream = iter(stream) if stream is not None else None
+        self._entries.clear()
+        for table in range(self.num_tables):
+            self._refcounts[table][:] = 0
+            self.cache.replace_table(table, np.empty(0, dtype=np.int64))
+
+    def _flush_all(self) -> list[SparseGradient] | None:
+        if self.pending_rows_total == 0:
+            return None
+        flushed = [
+            self._take_pending(table, sorted(self._pending[table]))
+            for table in range(self.num_tables)
+        ]
+        return flushed
+
+    # ------------------------------------------------------------------ #
+    # Step lifecycle: observe (pre-forward) + defer (post-backward)
+    # ------------------------------------------------------------------ #
+    def observe(self, sparse: np.ndarray) -> LookaheadStats:
+        """Advance the window for one training step and account its hits.
+
+        Args:
+            sparse: The trained batch's ``(batch, tables, pooling)`` index
+                block.
+
+        Returns:
+            The step's :class:`LookaheadStats` (also kept as
+            :attr:`last_stats`; :meth:`defer` adds the flush counters).
+        """
+        sparse = np.asarray(sparse)
+        if sparse.ndim != 3 or sparse.shape[1] != self.num_tables:
+            raise ValueError("sparse must be 3-D (batch, num_tables, pooling)")
+        stats = LookaheadStats()
+        # Pull window entries until the batch `window` steps ahead of the
+        # trained one has entered (the prefetcher runs W batches ahead).
+        fills = 0
+        while len(self._entries) <= self.window:
+            if not self._pull_entry():
+                break
+            fills += sum(entry_fresh.size for entry_fresh in self._entries[-1].fresh)
+        if not self._entries:
+            # Self-feed: no stream — the observed batch is its own entry.
+            self._enter(
+                [np.unique(sparse[:, table, :]) for table in range(self.num_tables)]
+            )
+            fills += sum(entry_fresh.size for entry_fresh in self._entries[-1].fresh)
+        entry = self._entries[0]
+        for table in range(self.num_tables):
+            lookups = sparse[:, table, :].ravel()
+            misses = int(_in_sorted(entry.fresh[table], lookups).sum())
+            stats.cache_misses += misses
+            stats.cache_hits += lookups.size - misses
+        stats.fill_rows = fills
+        if self.link is not None and fills:
+            stats.prefetch_time_s = cache_fill_time(
+                fills, self.row_bytes, self.num_replicas, self.link, dma=self.dma
+            )
+        if self._carry_rows:
+            # The previous epoch's backlog wrote back at the boundary.
+            stats.stale_rows += self._carry_rows
+            stats.prefetch_time_s += self._carry_time_s
+            self._carry_rows = 0
+            self._carry_time_s = 0.0
+        self.last_stats = stats
+        return stats
+
+    def _pull_entry(self) -> bool:
+        if self._stream is None:
+            return False
+        try:
+            rows = next(self._stream)
+        except StopIteration:
+            self._stream = None
+            return False
+        self._enter([np.asarray(table_rows, dtype=np.int64) for table_rows in rows])
+        return True
+
+    def _enter(self, rows: list[np.ndarray]) -> None:
+        """A batch enters the window: fill its uncached rows, take refs."""
+        fresh: list[np.ndarray] = []
+        for table, table_rows in enumerate(rows):
+            cached = self.cache.contains(table, table_rows)
+            new_rows = table_rows[~cached]
+            if new_rows.size:
+                self.cache.set_rows(table, new_rows)
+            self._refcounts[table][table_rows] += 1
+            fresh.append(new_rows)
+        self._entries.append(_WindowEntry(rows, fresh))
+
+    def defer(self, merged: list[SparseGradient]) -> list[SparseGradient]:
+        """Absorb one step's merged gradients; return what must apply now.
+
+        With ``staleness == 0`` the input is returned untouched (the
+        bit-parity fast path; anything still deferred from a higher
+        earlier bound is flushed alongside it, never stranded).  Otherwise
+        the gradients accumulate in the cache and the returned per-table
+        gradients contain exactly the flushed rows: those evicted as the
+        trained batch retires plus those whose oldest deferred
+        contribution is ``staleness`` steps old.
+        """
+        if len(merged) != self.num_tables:
+            raise ValueError(
+                f"expected gradients for {self.num_tables} tables, got {len(merged)}"
+            )
+        stats = self.last_stats
+        step = self._step
+        self._step += 1
+        evicted = self._retire()
+        stats.evicted_rows = sum(table_rows.size for table_rows in evicted)
+        if self.staleness == 0:
+            if self.pending_rows_total == 0:
+                return list(merged)
+            backlog = self._flush_all()
+            backlog_rows = sum(grad.nnz for grad in backlog)
+            stats.stale_rows += backlog_rows
+            # The backlog writes back like any other flush — price it, so
+            # a bound lowered to 0 mid-run does not make the same traffic
+            # momentarily free.
+            if self.link is not None and backlog_rows:
+                stats.prefetch_time_s += self.dma.write_time(
+                    backlog_rows * self.row_bytes, scattered=True
+                )
+            return [
+                merge_sparse_gradients([carried, grad]) if carried.nnz else grad
+                for carried, grad in zip(backlog, merged, strict=True)
+            ]
+        writeback_rows = 0
+        flushed: list[SparseGradient] = []
+        for table, grad in enumerate(merged):
+            pending = self._pending[table]
+            births = self._births[table]
+            for row, value in zip(grad.indices.tolist(), grad.values, strict=True):
+                if row in pending:
+                    pending[row] = pending[row] + value
+                else:
+                    pending[row] = value.copy()
+                    births[row] = step
+            # Flush rule: a deferred row writes back when it leaves the
+            # window or its oldest contribution reaches the bound.
+            evicted_rows = set(evicted[table].tolist()) & pending.keys()
+            aged_rows = {
+                row for row, birth in births.items() if step - birth >= self.staleness
+            }
+            stats.stale_rows += len(aged_rows - evicted_rows)
+            grad_out = self._take_pending(table, sorted(evicted_rows | aged_rows))
+            writeback_rows += grad_out.nnz
+            flushed.append(grad_out)
+        if self.link is not None and writeback_rows:
+            stats.prefetch_time_s += self.dma.write_time(
+                writeback_rows * self.row_bytes, scattered=True
+            )
+        return flushed
+
+    def _retire(self) -> list[np.ndarray]:
+        """The trained batch leaves the window; evict rows it last used."""
+        if not self._entries:
+            return [np.empty(0, dtype=np.int64) for _ in range(self.num_tables)]
+        entry = self._entries.popleft()
+        evicted: list[np.ndarray] = []
+        for table, table_rows in enumerate(entry.rows):
+            refcounts = self._refcounts[table]
+            refcounts[table_rows] -= 1
+            gone = table_rows[refcounts[table_rows] == 0]
+            if gone.size:
+                self.cache.clear_rows(table, gone)
+            evicted.append(gone)
+        return evicted
+
+    def _take_pending(self, table: int, rows: list[int]) -> SparseGradient:
+        """Remove ``rows`` from the pending store as one sparse gradient."""
+        pending = self._pending[table]
+        births = self._births[table]
+        taken = [row for row in rows if row in pending]
+        if not taken:
+            return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 0)))
+        values = np.stack([pending.pop(row) for row in taken], axis=0)
+        for row in taken:
+            births.pop(row, None)
+        return SparseGradient(np.asarray(taken, dtype=np.int64), values)

@@ -23,8 +23,10 @@ Two kinds of reduction live here:
     governs the *communication model*: each bucket is priced with
     :mod:`repro.hwsim.collectives` and the ``mode`` knob decides how much
     of that time is exposed (``sync`` = serial after backward, ``overlap``
-    = buckets pipeline behind backward as they become ready, ``stale-1`` =
-    fully hidden, updates applied one step late).
+    = buckets pipeline behind backward as they become ready, ``stale-k``
+    = a k-deep pipeline of in-flight reduces: each reduce has k compute
+    windows to hide in and the update lands k steps late; ``stale-0`` ≡
+    ``sync``, ``stale-1`` is the PR 3 one-step-late mode).
 
   - :class:`SparseGradientExchange` merges the per-µ-batch sparse-gradient
     partials of every replica in a single deterministic ``(replica,
@@ -96,8 +98,22 @@ class Reducer:
 # Gradient collectives (multi-replica training)
 # ---------------------------------------------------------------------- #
 
-#: Synchronisation modes of the bucketed dense all-reduce.
-REDUCE_MODES = ("sync", "overlap", "stale-1")
+def parse_staleness(mode: str) -> int:
+    """Bounded-staleness depth ``k`` encoded by a reducer mode string.
+
+    ``"sync"`` and ``"overlap"`` carry no staleness (``0``); ``"stale-<k>"``
+    carries ``k``.  Raises :class:`ValueError` for anything else, making
+    this the single mode validator of the reducer family.
+    """
+    if mode in ("sync", "overlap"):
+        return 0
+    if mode.startswith("stale-"):
+        suffix = mode[len("stale-") :]
+        if suffix.isdigit():
+            return int(suffix)
+    raise ValueError(
+        f"mode must be 'sync', 'overlap', or 'stale-<k>' with integer k >= 0, got {mode!r}"
+    )
 
 #: Deterministic reduction orders (association trees over replica ranks).
 REDUCE_ALGORITHMS = ("ring", "tree")
@@ -160,9 +176,11 @@ class GradientBucketReducer:
             one bucket degenerate to a single all-reduce.
         mode: ``"sync"`` (communication fully exposed after backward),
             ``"overlap"`` (buckets pipeline behind backward as they become
-            ready, only the un-hidden tail is exposed), or ``"stale-1"``
-            (communication fully hidden; the trainer applies the reduced
-            gradient one step late).
+            ready, only the un-hidden tail is exposed), or ``"stale-<k>"``
+            (a k-deep pipeline of in-flight reduces: each step's reduce may
+            hide under the next ``k`` compute windows and the trainer
+            applies the reduced gradient ``k`` steps late; ``stale-0`` is
+            exactly ``sync``, ``stale-1`` the original one-step-late mode).
         algorithm: Association order of the element-wise sum — ``"ring"``
             (sequential chain over ranks, the order a ring reduce-scatter
             accumulates in) or ``"tree"`` (pairwise recursive halving).
@@ -186,17 +204,49 @@ class GradientBucketReducer:
             raise ValueError("num_replicas must be positive")
         if bucket_bytes < WIRE_BYTES_PER_ELEMENT:
             raise ValueError("bucket_bytes must hold at least one gradient element")
-        if mode not in REDUCE_MODES:
-            raise ValueError(f"mode must be one of {REDUCE_MODES}, got {mode!r}")
         if algorithm not in REDUCE_ALGORITHMS:
             raise ValueError(
                 f"algorithm must be one of {REDUCE_ALGORITHMS}, got {algorithm!r}"
             )
         self.num_replicas = num_replicas
         self.bucket_bytes = int(bucket_bytes)
-        self.mode = mode
+        self.mode = mode  # property setter validates and derives staleness
         self.algorithm = algorithm
         self.cluster = cluster
+
+    @property
+    def mode(self) -> str:
+        """Synchronisation mode string (``sync`` / ``overlap`` / ``stale-<k>``)."""
+        return self._mode
+
+    @mode.setter
+    def mode(self, value: str) -> None:
+        self._staleness = parse_staleness(value)  # validates, incl. mid-run changes
+        self._mode = value
+
+    @property
+    def staleness(self) -> int:
+        """Bounded-staleness depth ``k`` of the mode (0 for sync/overlap)."""
+        return self._staleness
+
+    @property
+    def signature(self) -> tuple:
+        """Value view of everything that determines the timing model.
+
+        Trainers key their cached wire-time schedules on this, so a reducer
+        reconfigured mid-run (bucket size, mode, replica count, cluster)
+        invalidates the cache instead of reporting stale times.  The
+        cluster participates *by value* (it is a frozen dataclass): keying
+        on object identity would let a freed-and-reallocated cluster at the
+        same address masquerade as the old one.
+        """
+        return (
+            self.num_replicas,
+            self.bucket_bytes,
+            self.mode,
+            self.algorithm,
+            self.cluster,
+        )
 
     # ------------------------------------------------------------------ #
     # Bucket layout
@@ -287,7 +337,12 @@ class GradientBucketReducer:
         )
 
     def bucket_times(self, num_elements: int) -> list[float]:
-        """Per-bucket all-reduce wire times for a flat gradient."""
+        """Per-bucket all-reduce wire times for a flat gradient.
+
+        A zero-element (or negative) gradient has no buckets and therefore
+        an empty — but well-defined — schedule; callers summing it get the
+        correct ``0.0`` rather than an error.
+        """
         return [
             self._bucket_wire_time((chunk.stop - chunk.start) * WIRE_BYTES_PER_ELEMENT)
             for chunk in self.bucket_slices(num_elements)
@@ -305,21 +360,34 @@ class GradientBucketReducer:
           per-step compute time, an *optimistic* simplification (buckets
           cannot really be reduced before backward begins).  Callers with a
           backward-time split should pass that narrower window instead.
-        * ``stale-1`` — the reduce of step *t* overlaps step *t+1* entirely,
-          so nothing is exposed (the trainer applies it one step late).
+        * ``stale-k`` — the reduce of step *t* pipelines behind the next
+          ``k`` steps, so it has ``k`` full compute windows to hide in and
+          only the remainder, ``max(0, total - k * compute_window_s)``, is
+          exposed.  ``stale-0`` degenerates to ``sync`` (nothing to hide
+          behind), and ``stale-1`` with a compute window at least as long
+          as the wire time reproduces the fully-hidden PR 3 behaviour.
+
+        Edge cases are well-defined zeros rather than schedule surprises:
+        an empty ``bucket_times`` (zero-element gradient) exposes ``0.0``
+        in every mode, and ``compute_window_s == 0`` exposes the full wire
+        time in every mode (there is no window to hide in).  A negative
+        compute window is rejected — these paths go live under ``stale-k``.
         """
+        if compute_window_s < 0:
+            raise ValueError("compute_window_s must be >= 0")
         if not bucket_times:
             return 0.0
-        if self.mode == "sync":
-            return float(sum(bucket_times))
-        if self.mode == "stale-1":
-            return 0.0
-        count = len(bucket_times)
-        finish = 0.0
-        for i, wire_time in enumerate(bucket_times):
-            ready = compute_window_s * (i + 1) / count
-            finish = max(ready, finish) + wire_time
-        return max(0.0, finish - compute_window_s)
+        total = float(sum(bucket_times))
+        if self.mode == "overlap":
+            count = len(bucket_times)
+            finish = 0.0
+            for i, wire_time in enumerate(bucket_times):
+                ready = compute_window_s * (i + 1) / count
+                finish = max(ready, finish) + wire_time
+            return max(0.0, finish - compute_window_s)
+        if self.staleness > 0:
+            return max(0.0, total - self.staleness * compute_window_s)
+        return total  # sync — and its stale-0 alias — expose everything
 
     def schedule(self, num_elements: int, compute_window_s: float) -> BucketSchedule:
         """The full communication schedule of one step's dense all-reduce."""

@@ -87,5 +87,5 @@ class MiniBatch:
                 sparse=self.sparse[start:stop],
                 labels=self.labels[start:stop],
             )
-            for start, stop in zip(bounds, bounds[1:])
+            for start, stop in zip(bounds, bounds[1:], strict=False)
         ]

@@ -29,7 +29,9 @@ def _prefetched(producer: Iterator[MiniBatch], depth: int) -> Iterator[MiniBatch
     The worker assembles up to ``depth`` batches ahead of the consumer, so
     batch materialisation overlaps the training step.  Exceptions raised by
     the producer are re-raised in the consumer; abandoning the iterator
-    (early ``break``) stops the worker promptly via the stop event.
+    (early ``break`` or an explicit ``close()``) signals the worker, drains
+    the queue it may be blocked on, and *joins* it — no
+    ``minibatch-prefetch`` thread outlives the generator.
     """
     buffer: queue.Queue = queue.Queue(maxsize=depth)
     stop = threading.Event()
@@ -63,7 +65,20 @@ def _prefetched(producer: Iterator[MiniBatch], depth: int) -> Iterator[MiniBatch
                 raise payload
             yield payload
     finally:
+        # Runs on exhaustion, error, and GeneratorExit (close / abandon)
+        # alike.  The stop event alone is not enough: a worker blocked on
+        # the full queue would only notice it on its next put timeout, and
+        # nothing ever joined the thread — the leak this block fixes.
+        # Draining unblocks the worker immediately; the join loop keeps
+        # draining until the thread is really gone.
         stop.set()
+        while thread.is_alive():
+            try:
+                while True:
+                    buffer.get_nowait()
+            except queue.Empty:
+                pass
+            thread.join(timeout=0.05)
 
 
 class MiniBatchLoader:
@@ -105,6 +120,11 @@ class MiniBatchLoader:
         self.seed = seed
         self.prefetch = prefetch
         self._rng = np.random.default_rng(seed)
+        #: Sample order of the most recently started epoch (``None`` =
+        #: sequential).  Drawn eagerly by :meth:`epoch`, so lookahead
+        #: consumers (:mod:`repro.core.lookahead`) can mirror the in-flight
+        #: epoch's batches without touching the shuffling RNG.
+        self.last_epoch_order: np.ndarray | None = None
 
     def __len__(self) -> int:
         """Number of mini-batches per epoch."""
@@ -135,12 +155,24 @@ class MiniBatchLoader:
             labels=self.log.labels[indices],
         )
 
-    def _epoch_batches(self, order: np.ndarray | None) -> Iterator[MiniBatch]:
-        """Yield one epoch of mini-batches for a fixed sample order."""
+    def batch_bounds(self) -> Iterator[tuple[int, int]]:
+        """``[start, stop)`` sample bounds of each batch of one epoch.
+
+        The single authority on the epoch's batching (including the
+        ``drop_last`` rule): both batch materialisation and lookahead
+        consumers (:func:`repro.core.lookahead.epoch_row_stream`) walk
+        these bounds, so they can never disagree on which samples form
+        batch ``j``.
+        """
         for start in range(0, self.log.num_samples, self.batch_size):
             stop = min(start + self.batch_size, self.log.num_samples)
             if stop - start < self.batch_size and self.drop_last:
                 break
+            yield start, stop
+
+    def _epoch_batches(self, order: np.ndarray | None) -> Iterator[MiniBatch]:
+        """Yield one epoch of mini-batches for a fixed sample order."""
+        for start, stop in self.batch_bounds():
             yield self._batch_at(order, start, stop)
 
     def epoch(self, prefetch: int | None = None) -> Iterator[MiniBatch]:
@@ -154,6 +186,7 @@ class MiniBatchLoader:
         if self.shuffle:
             order = np.arange(self.log.num_samples)
             self._rng.shuffle(order)
+        self.last_epoch_order = order
         producer = self._epoch_batches(order)
         depth = self.prefetch if prefetch is None else prefetch
         if depth is not None and depth > 0:

@@ -3,8 +3,10 @@
 Each experiment is a named, parameter-free callable returning plain Python
 data (dicts / lists) ready for tabulation or plotting.  The heavy functional
 experiments (full model training at paper scale) live in the benchmark
-harness; the one functional experiment registered here — ``fig30f``, the
-sharded-trainer scaling run — is deliberately sized to finish in seconds.
+harness; the functional experiments registered here — ``fig30f`` (sharded
+scaling), ``fig30r`` (reducer-mode sweep), and ``fig30s`` (stale-k ×
+lookahead-window convergence-vs-exposure sweep) — are deliberately sized to
+finish in seconds.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from repro.baselines import (
 )
 from repro.core import HotlineScheduler
 from repro.core.distributed import MergedGradientShardedTrainer, ShardedHotlineTrainer
+from repro.core.reducer import GradientBucketReducer
 from repro.data import MiniBatchLoader, generate_click_log
 from repro.hwsim import multi_node, single_node
 from repro.models import RM1, RM2, RM3, RM4, SYN_M1, SYN_M2
@@ -263,8 +266,10 @@ def _fig30_replicated() -> dict:
     * ``sync`` — all bucket wire time exposed after backward;
     * ``overlap`` — buckets pipeline behind backward, only the tail is
       exposed (numerics identical to ``sync``);
-    * ``stale-1`` — communication fully hidden, the reduced dense gradient
-      applied one step late (the only mode that changes the losses).
+    * ``stale-1`` — the reduce hides under the next step's compute window;
+      only wire time beyond that window is exposed (here the window dwarfs
+      the wire time, so nothing is), and the reduced dense gradient lands
+      one step late (the only mode that changes the losses).
 
     Per-bucket wire time comes straight from
     :attr:`~repro.core.engine.TrainingResult.bucket_comm_s`, and the
@@ -305,6 +310,85 @@ def _fig30_replicated() -> dict:
     return result
 
 
+class _FixedComputeModel:
+    """Constant-compute stand-in perf model for the staleness sweep.
+
+    The convergence-vs-exposure story needs a compute window comparable to
+    the dense wire time (otherwise every staleness depth hides everything
+    and the exposure curve is flat); pinning the window to a chosen
+    fraction of the wire time makes the ``max(0, wire - k * window)``
+    shrinkage visible across k ∈ {0, 1, 2, 4}.
+    """
+
+    def __init__(self, step_s: float):
+        self.step_s = step_s
+
+    def step_time(self, batch_size: int) -> float:
+        return self.step_s
+
+    def collective_time(self) -> float:
+        return 0.0
+
+
+def _fig30_stale_lookahead() -> dict:
+    """Convergence-vs-exposure sweep of stale-k × lookahead window (fig30s).
+
+    Trains the true multi-replica trainer with the bounded-staleness knobs
+    of this PR: the dense all-reduce runs ``stale-k`` (a k-deep pipeline of
+    in-flight reduces; ``stale-0`` ≡ ``sync``) and the BagPipe-style
+    :class:`~repro.core.lookahead.CachedEmbeddingPipeline` walks the epoch
+    W batches ahead, prefetching rows and deferring sparse write-backs
+    under the same bound k.  The compute window is pinned to a third of the
+    per-step wire time, so exposure shrinks visibly (and monotonically)
+    with k while the final loss degrades monotonically — the
+    convergence-vs-exposure trade the sweep exists to plot.  Cache
+    hit-rates grow with W; replicas never drift (staleness is uniform).
+    """
+    config = RM2.scaled(max_rows_per_table=600, samples_per_epoch=1024)
+    log = generate_click_log(config.dataset, 1024, seed=23)
+    cluster = single_node(4)
+    bucket_bytes = 4 * 1024
+    wire = sum(
+        GradientBucketReducer(4, bucket_bytes=bucket_bytes, cluster=cluster).bucket_times(
+            DLRM(config, seed=5).num_dense_parameters
+        )
+    )
+    perf_model = _FixedComputeModel(wire / 3.0)
+    result = {}
+    for staleness in (0, 1, 2, 4):
+        for window in (2, 8):
+            trainer = ShardedHotlineTrainer(
+                DLRM(config, seed=5),
+                4,
+                cluster=cluster,
+                lr=0.3,
+                sample_fraction=0.25,
+                bucket_bytes=bucket_bytes,
+                mode=f"stale-{staleness}",
+                lookahead_window=window,
+                perf_model=perf_model,
+            )
+            run = trainer.train(
+                MiniBatchLoader(log, batch_size=128),
+                epochs=2,
+                eval_batch=log.batch(0, 512),
+            )
+            result[f"k={staleness} / W={window}"] = {
+                "staleness": staleness,
+                "window": window,
+                "final_loss": run.losses[-1],
+                "final_logloss": run.final_metrics["logloss"],
+                "simulated_time_s": run.simulated_time_s,
+                "exposed_communication_s": run.communication_time_s,
+                "cache_hit_rate": run.cache_hit_rate,
+                "cache_fill_rows": run.cache_fill_rows,
+                "stale_rows": run.stale_rows,
+                "prefetch_time_s": run.prefetch_time_s,
+                "replica_drift": trainer.replica_drift(),
+            }
+    return result
+
+
 _EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("fig3", "Hybrid CPU-GPU training-time breakdown", _fig3_hybrid_breakdown),
     Experiment("fig4", "Single-node GPU-only training-time breakdown", _fig4_gpu_only_breakdown),
@@ -327,6 +411,11 @@ _EXPERIMENTS: tuple[Experiment, ...] = (
         "fig30r",
         "Staleness/overlap sweep over truly independent replicas",
         _fig30_replicated,
+    ),
+    Experiment(
+        "fig30s",
+        "Convergence-vs-exposure sweep: stale-k × cached lookahead window",
+        _fig30_stale_lookahead,
     ),
 )
 

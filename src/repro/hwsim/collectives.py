@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 
+from repro.hwsim.dma import DMAEngine
 from repro.hwsim.interconnect import Link
 
 
@@ -79,6 +80,38 @@ def embedding_alltoall_time(
         return 0.0
     per_device_bytes = num_remote_rows * row_bytes / participants
     return 2.0 * alltoall_time(per_device_bytes, participants, link)
+
+
+def cache_fill_time(
+    num_rows: float,
+    row_bytes: float,
+    participants: int,
+    link: Link,
+    dma: DMAEngine | None = None,
+) -> float:
+    """Per-step cost of prefetching ``num_rows`` rows into a lookahead cache.
+
+    BagPipe-style bounded-staleness training prefetches the embedding rows
+    of upcoming batches into a per-replica cache.  Each filled row pays two
+    terms:
+
+    * the round-trip exchange with the row's owner — priced with
+      :func:`embedding_alltoall_time` (the row travels in at fill time and
+      its accumulated gradient travels back at write-back, the same 2x a
+      remotely-owned lookup pays);
+    * the **cache-fill DMA term** — the host-DRAM gather that materialises
+      the scattered rows through the DMA engine before they can be pushed
+      to the replicas.  Pass a live :class:`~repro.hwsim.dma.DMAEngine` to
+      have its traffic counters track the fills; with ``None`` a transient
+      engine prices the transfer without recording it.
+
+    Single-replica runs pay no all-to-all but still pay the DMA gather.
+    """
+    if num_rows <= 0 or row_bytes <= 0:
+        return 0.0
+    engine = dma if dma is not None else DMAEngine()
+    alltoall = embedding_alltoall_time(num_rows, row_bytes, participants, link)
+    return alltoall + engine.read_time(num_rows * row_bytes, scattered=True)
 
 
 def gather_time(num_bytes_per_device: float, participants: int, link: Link) -> float:

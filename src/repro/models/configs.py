@@ -73,7 +73,7 @@ class ModelConfig:
         count = 0
         for arch in (self.bottom_mlp, self.top_mlp):
             sizes = [int(token) for token in arch.split("-")]
-            for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            for fan_in, fan_out in zip(sizes[:-1], sizes[1:], strict=True):
                 count += fan_in * fan_out + fan_out
         return count
 
@@ -93,7 +93,7 @@ class ModelConfig:
         flops = 0.0
         for arch in (self.bottom_mlp, self.top_mlp):
             sizes = [int(token) for token in arch.split("-")]
-            for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            for fan_in, fan_out in zip(sizes[:-1], sizes[1:], strict=True):
                 flops += 2.0 * fan_in * fan_out
         steps = self.dataset.time_series_length if self.uses_attention else 1
         return flops * steps

@@ -150,7 +150,7 @@ class TBSM:
         """SGD update of every embedding table from its sparse gradient."""
         if len(grads) != len(self.tables):
             raise ValueError("one sparse gradient per table is required")
-        for table, grad in zip(self.tables, grads):
+        for table, grad in zip(self.tables, grads, strict=True):
             table.apply_sparse_update(grad, lr)
 
     def train_step(self, batch: MiniBatch, lr: float = 0.01) -> float:

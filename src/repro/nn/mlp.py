@@ -28,7 +28,7 @@ class MLP:
             raise ValueError("an MLP needs at least an input and an output size")
         self.layer_sizes = list(layer_sizes)
         self.layers: list = []
-        for i, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:])):
+        for i, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:], strict=True)):
             self.layers.append(Linear(fan_in, fan_out, rng))
             is_last = i == len(layer_sizes) - 2
             if not is_last:
@@ -79,6 +79,6 @@ class MLP:
     def flops_per_sample(self) -> float:
         """Multiply-accumulate FLOPs for one forward pass of one sample."""
         flops = 0.0
-        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:], strict=True):
             flops += 2.0 * fan_in * fan_out
         return flops

@@ -77,6 +77,34 @@ def test_stale_mode_is_seed_deterministic(tiny_model_config, tiny_click_log):
     )
 
 
+def test_stale_k_is_seed_deterministic(tiny_model_config, tiny_click_log):
+    """The whole stale-k family is repeatable — the k-deep deque and the
+    bounded-staleness sparse flush introduce no hidden nondeterminism."""
+    for staleness in (2, 4):
+        assert_identical_runs(
+            lambda staleness=staleness: ShardedHotlineTrainer(
+                DLRM(tiny_model_config, seed=9), 2, lr=0.05, sample_fraction=0.25,
+                mode=f"stale-{staleness}", lookahead_window=3,
+            ),
+            tiny_click_log,
+        )
+
+
+def test_lookahead_pipeline_deterministic_with_shuffle(
+    tiny_model_config, tiny_click_log
+):
+    """The lookahead window walks the shuffled epoch order eagerly, so
+    shuffled cached runs repeat bit for bit (and never touch the RNG)."""
+    assert_identical_runs(
+        lambda: ShardedHotlineTrainer(
+            DLRM(tiny_model_config, seed=9), 2, lr=0.05, sample_fraction=0.25,
+            mode="stale-2", lookahead_window=4,
+        ),
+        tiny_click_log,
+        shuffle=True,
+    )
+
+
 def test_prefetch_depth_never_changes_results(tiny_model_config, tiny_click_log):
     """Synchronous, double-buffered, and deep prefetch yield the same run."""
     from repro.core.engine import TrainingEngine

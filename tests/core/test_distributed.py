@@ -251,7 +251,7 @@ def test_sharded_loader_deals_contiguous_views(tiny_click_log):
     loader = MiniBatchLoader(tiny_click_log, batch_size=128)
     sharded = ShardedLoader(loader, 4)
     assert len(sharded) == len(loader)
-    for shards, batch in zip(sharded, loader):
+    for shards, batch in zip(sharded, loader, strict=True):
         assert len(shards) == 4
         assert sum(shard.size for shard in shards) == batch.size
         np.testing.assert_array_equal(
@@ -269,3 +269,150 @@ def test_sharded_loader_rejects_bad_shard_count(tiny_click_log):
     loader = MiniBatchLoader(tiny_click_log, batch_size=128)
     with pytest.raises(ValueError):
         ShardedLoader(loader, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Wire-time cache invalidation (reducer reconfigured mid-run)
+# --------------------------------------------------------------------------- #
+def test_bucket_time_cache_invalidates_on_reducer_reconfiguration(tiny_model_config):
+    """Regression: the cached per-bucket schedule used to survive a mid-run
+    reducer reconfiguration, reporting stale wire time forever."""
+    from repro.core.reducer import GradientBucketReducer
+
+    trainer = ShardedHotlineTrainer(DLRM(tiny_model_config, seed=0), 4)
+    single_bucket = trainer.dense_sync_time()
+    assert len(trainer._step_bucket_times()) == 1
+    # Shrinking the bucket size must re-price into a multi-bucket schedule.
+    trainer.reducer.bucket_bytes = 1024
+    rebucketed = trainer._step_bucket_times()
+    assert len(rebucketed) > 1
+    assert trainer.dense_sync_time() == pytest.approx(sum(rebucketed))
+    # A mode flip re-keys too (mode feeds exposure, but the key is total).
+    trainer.reducer.mode = "stale-2"
+    assert trainer._step_bucket_times() == rebucketed
+    # Swapping the whole reducer (different replica count) re-prices again.
+    trainer.reducer = GradientBucketReducer(2, cluster=trainer.cluster)
+    assert trainer.dense_sync_time() != pytest.approx(single_bucket)
+    assert trainer.dense_sync_time() == pytest.approx(
+        sum(trainer.reducer.bucket_times(trainer.model.num_dense_parameters))
+    )
+    # Swapping the *trainer's* cluster re-prices too: the trainer is the
+    # pricing authority, so the reducer follows it onto the new topology.
+    flat_time = trainer.dense_sync_time()
+    trainer.cluster = multi_node(2, 2)
+    assert trainer.reducer.cluster is not trainer.cluster  # not yet synced
+    hierarchical_time = trainer.dense_sync_time()
+    assert trainer.reducer.cluster is trainer.cluster
+    assert hierarchical_time != pytest.approx(flat_time)
+
+
+def test_merged_trainer_sync_time_cache_keyed_on_configuration(tiny_model_config):
+    """The merged reference's cached collective re-prices when the cluster
+    (or shard count) changes instead of reporting the old constant."""
+    from repro.core.distributed import MergedGradientShardedTrainer
+
+    trainer = MergedGradientShardedTrainer(DLRM(tiny_model_config, seed=0), 4)
+    single_node_time = trainer.dense_sync_time()
+    assert trainer.dense_sync_time() == single_node_time  # cache hit
+    trainer.cluster = multi_node(2, 2)
+    multi_node_time = trainer.dense_sync_time()
+    assert multi_node_time != pytest.approx(single_node_time)
+    assert multi_node_time == pytest.approx(
+        hierarchical_allreduce_time(
+            trainer.model.num_dense_parameters * 4.0,
+            2,
+            2,
+            trainer.cluster.node.gpu_link,
+            trainer.cluster.inter_link,
+        )
+    )
+
+
+def test_lowering_staleness_mid_run_drains_the_dense_backlog(
+    tiny_model_config, tiny_click_log
+):
+    """Regression: flipping a stale-k reducer back to sync mid-run used to
+    strand the in-flight reduces in the deque (dropping their gradient);
+    the pipeline must drain the backlog instead, and the lookahead's
+    sparse staleness bound must follow the reducer's live value."""
+    from repro.models.dlrm import DLRM
+
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=2), 2, sample_fraction=0.25,
+        mode="stale-3", lookahead_window=3,
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    trainer.bind(loader)
+    batches = list(loader)
+    for batch in batches[:4]:
+        trainer.train_step(batch)
+    assert len(trainer._pending_dense) == 3
+    assert trainer.lookahead.staleness == 3
+    trainer.reducer.mode = "sync"  # mid-run reconfiguration
+    trainer.train_step(batches[4])
+    # The whole backlog (3 queued reduces + this step's) applied at once...
+    assert len(trainer._pending_dense) == 0
+    # ...and the sparse pipeline followed the live bound, flushing its own
+    # backlog rather than deferring forever.
+    assert trainer.lookahead.staleness == 0
+    assert trainer.lookahead.pending_rows_total == 0
+    assert trainer.replica_drift() == 0.0
+
+
+def test_rebinding_a_trainer_drops_the_previous_runs_inflight_state(
+    tiny_model_config, tiny_click_log
+):
+    """Regression: a reused trainer's stale-k deque (and the lookahead's
+    deferred write-backs) used to survive into the next train() call, so
+    run B's first steps applied run A's gradients.  bind() must start from
+    a clean synchronisation state."""
+    from repro.models.dlrm import DLRM
+
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=4), 2, sample_fraction=0.25,
+        mode="stale-4", lookahead_window=3,
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    first = trainer.train(loader, epochs=1)
+    assert len(trainer._pending_dense) == 4  # in-flight reduces of run A
+    # Re-binding (what a second train() does first) drops them...
+    trainer.bind(loader)
+    assert len(trainer._pending_dense) == 0
+    assert trainer.lookahead.pending_rows_total == 0
+    assert trainer.lookahead.cached_rows_total == 0
+    # ...and a full second run works and never sees run A's backlog: its
+    # first k steps apply no dense update at all, exactly like a fresh run.
+    second = trainer.train(loader, epochs=1)
+    assert len(second.losses) == len(first.losses)
+    assert trainer.replica_drift() == 0.0
+
+
+def test_lookahead_replaces_partitioned_lookup_alltoall(
+    tiny_model_config, tiny_click_log
+):
+    """With the window cache attached, remotely-owned lookups are served
+    from the cache whose fills already paid the owner round-trip — the
+    per-lookup all-to-all must not be charged again (BagPipe's trade)."""
+    from repro.models.dlrm import DLRM
+
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=0), 2, sample_fraction=0.25,
+        partition_embeddings=True, lookahead_window=4,
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    trainer.bind(loader)
+    batch = next(iter(loader))
+    outcome = trainer.run_step(batch)
+    # The avoided per-lookup volume is still observable...
+    assert trainer.last_remote_lookups > 0
+    assert trainer.alltoall_time(trainer.last_remote_lookups) > 0.0
+    # ...but the step charges only the dense schedule plus the prefetch
+    # tail — not the per-lookup exchange on top of the fills.
+    exposed_dense = trainer.reducer.exposed_time(
+        trainer._step_bucket_times(), outcome.compute_time_s
+    )
+    expected = exposed_dense + max(
+        0.0, outcome.prefetch_time_s - outcome.compute_time_s
+    )
+    assert outcome.communication_time_s == pytest.approx(expected)
+    assert outcome.prefetch_time_s > 0.0

@@ -148,7 +148,7 @@ def test_engine_accumulates_per_bucket_comm(tiny_model_config, tiny_click_log):
     expected_buckets = -(-model.num_dense_parameters // bucket_elements)
     assert len(result.bucket_comm_s) == expected_buckets
     per_step = trainer.reducer.bucket_times(model.num_dense_parameters)
-    for total, one_step in zip(result.bucket_comm_s, per_step):
+    for total, one_step in zip(result.bucket_comm_s, per_step, strict=True):
         assert total == pytest.approx(one_step * result.iterations)
     # Sync mode: the exposed communication is exactly the summed wire time.
     assert result.communication_time_s == pytest.approx(sum(result.bucket_comm_s))

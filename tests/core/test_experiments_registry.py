@@ -74,3 +74,9 @@ def test_fig30_replicated_registered():
     ids = [experiment.id for experiment in list_experiments()]
     assert "fig30r" in ids
     assert ids.index("fig30r") == ids.index("fig30f") + 1
+
+
+def test_fig30_stale_lookahead_registered():
+    ids = [experiment.id for experiment in list_experiments()]
+    assert "fig30s" in ids
+    assert ids.index("fig30s") == ids.index("fig30r") + 1

@@ -60,10 +60,10 @@ def test_invalid_configuration():
 from repro.core.placement import PartitionedEmbeddingPlacement
 from repro.core.reducer import (
     REDUCE_ALGORITHMS,
-    REDUCE_MODES,
     WIRE_BYTES_PER_ELEMENT,
     GradientBucketReducer,
     SparseGradientExchange,
+    parse_staleness,
 )
 from repro.hwsim.cluster import multi_node, single_node
 from repro.hwsim.collectives import (
@@ -139,7 +139,88 @@ def test_reducer_validates_configuration():
         GradientBucketReducer(2, mode="async")
     with pytest.raises(ValueError):
         GradientBucketReducer(2, algorithm="butterfly")
-    assert set(REDUCE_MODES) == {"sync", "overlap", "stale-1"}
+    # The accepted mode family: the two named modes plus any stale-<k>.
+    for mode in ("sync", "overlap", "stale-0", "stale-1", "stale-9"):
+        assert GradientBucketReducer(2, mode=mode).mode == mode
+
+
+def test_stale_k_mode_family_parses_and_reports_staleness():
+    """stale-<k> generalises stale-1: any integer depth k >= 0 is a mode."""
+    assert parse_staleness("sync") == 0
+    assert parse_staleness("overlap") == 0
+    assert parse_staleness("stale-0") == 0
+    assert parse_staleness("stale-1") == 1
+    assert parse_staleness("stale-7") == 7
+    for bad in ("stale-", "stale--1", "stale-x", "stale-1.5", "fresh-1"):
+        with pytest.raises(ValueError):
+            parse_staleness(bad)
+    for mode, expected in (("sync", 0), ("overlap", 0), ("stale-0", 0), ("stale-4", 4)):
+        assert GradientBucketReducer(2, mode=mode).staleness == expected
+    # Mid-run mode changes re-derive the staleness (and re-validate).
+    reducer = GradientBucketReducer(2, mode="stale-2")
+    reducer.mode = "stale-5"
+    assert reducer.staleness == 5
+    with pytest.raises(ValueError):
+        reducer.mode = "stale-oops"
+
+
+def test_stale_k_exposure_is_the_unhidden_remainder():
+    """stale-k hides the wire time under k compute windows; the rest is paid."""
+    cluster = single_node(4)
+    kwargs = dict(bucket_bytes=64 * WIRE_BYTES_PER_ELEMENT, cluster=cluster)
+    times = GradientBucketReducer(4, **kwargs).bucket_times(256)
+    total = sum(times)
+    window = total / 3.0
+    for k, expected in ((0, total), (1, total - window), (2, total - 2 * window), (4, 0.0)):
+        reducer = GradientBucketReducer(4, mode=f"stale-{k}", **kwargs)
+        assert reducer.exposed_time(times, window) == pytest.approx(expected)
+    # stale-0 is sync bit for bit, whatever the window.
+    sync = GradientBucketReducer(4, mode="sync", **kwargs)
+    alias = GradientBucketReducer(4, mode="stale-0", **kwargs)
+    for window in (0.0, total, 10 * total):
+        assert alias.exposed_time(times, window) == sync.exposed_time(times, window)
+
+
+def test_exposure_edge_cases_are_well_defined_zeros():
+    """Zero-element gradients and zero compute windows must not surprise.
+
+    These paths go live under stale-k (a k-deep pipeline may drain an
+    empty or degenerate schedule), so they are pinned here.
+    """
+    cluster = single_node(4)
+    for mode in ("sync", "overlap", "stale-0", "stale-1", "stale-3"):
+        reducer = GradientBucketReducer(4, mode=mode, cluster=cluster)
+        # A zero-element gradient has no buckets: empty — but defined —
+        # schedule, zero exposure in every mode.
+        assert reducer.bucket_times(0) == []
+        assert reducer.exposed_time([], 0.0) == 0.0
+        schedule = reducer.schedule(0, 0.0)
+        assert schedule.per_bucket_s == ()
+        assert schedule.exposed_s == 0.0
+        assert schedule.total_s == 0.0
+        # A zero compute window exposes the full wire time in every mode
+        # (nothing to hide behind).
+        times = reducer.bucket_times(256)
+        assert reducer.exposed_time(times, 0.0) == pytest.approx(sum(times))
+        # Negative windows are rejected rather than silently "hiding" time.
+        with pytest.raises(ValueError):
+            reducer.exposed_time(times, -1.0)
+    # Reducing zero-element partials round-trips the empty array.
+    reduced = GradientBucketReducer(2).reduce([np.empty(0, dtype=np.float32)] * 3)
+    assert reduced.shape == (0,)
+    assert reduced.dtype == np.float32
+
+
+def test_reducer_signature_tracks_reconfiguration():
+    cluster = single_node(4)
+    reducer = GradientBucketReducer(4, cluster=cluster)
+    before = reducer.signature
+    assert before == GradientBucketReducer(4, cluster=cluster).signature
+    reducer.bucket_bytes = 1024
+    assert reducer.signature != before
+    reducer.bucket_bytes = 4 * 1024 * 1024
+    reducer.mode = "stale-2"
+    assert reducer.signature != before
 
 
 def test_bucket_times_match_hwsim_collectives():

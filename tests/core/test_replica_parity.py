@@ -11,8 +11,12 @@ K ∈ {1, 2, 4} on DLRM and TBSM, with and without row-partitioned embedding
 tables, and the replicas themselves are asserted to never drift.
 
 ``overlap`` mode only reschedules communication, so it shares the
-guarantee; ``stale-1`` applies the reduced dense gradient one step late and
-is asserted to diverge (while its first step still matches).
+guarantee, as do ``stale-0`` (the sync alias of the generalised ``stale-k``
+family) and a ``stale-0`` run with the BagPipe-style cached lookahead
+attached (zero staleness flushes every deferred sparse update immediately).
+``stale-k`` with k > 0 applies the reduced dense gradient k steps late and
+is asserted to diverge from the reference while staying deterministic and
+drift-free for k ∈ {1, 2, 4}.
 """
 
 import numpy as np
@@ -120,6 +124,72 @@ def test_overlap_mode_shares_the_parity_guarantee(tiny_model_config, tiny_click_
     assert_bit_identical(merged_model.state_snapshot(), replica_model.state_snapshot())
 
 
+def test_stale_zero_is_bit_identical_sync_alias(tiny_model_config, tiny_click_log):
+    """stale-0 collapses to sync: the k-deep deque holds nothing, so the
+    parity guarantee extends to the staleness family's boundary."""
+    merged_model, merged_result = merged_run(DLRM, tiny_model_config, tiny_click_log, 2)
+    replica_model, replica_result, trainer = replicated_run(
+        DLRM, tiny_model_config, tiny_click_log, 2, mode="stale-0"
+    )
+    assert replica_result.losses == merged_result.losses
+    assert_bit_identical(merged_model.state_snapshot(), replica_model.state_snapshot())
+    assert trainer.replica_drift() == 0.0
+
+
+def test_stale_zero_with_lookahead_is_bit_identical(tiny_model_config, tiny_click_log):
+    """The cached lookahead pipeline at staleness 0 is pure accounting:
+    every deferred write-back flushes immediately, so training with the
+    cache attached stays bit-identical to the merged reference."""
+    merged_model, merged_result = merged_run(DLRM, tiny_model_config, tiny_click_log, 2)
+    replica_model, replica_result, trainer = replicated_run(
+        DLRM, tiny_model_config, tiny_click_log, 2, mode="stale-0", lookahead_window=4
+    )
+    assert replica_result.losses == merged_result.losses
+    assert_bit_identical(merged_model.state_snapshot(), replica_model.state_snapshot())
+    # ...and the cache observed real traffic while staying invisible.
+    assert replica_result.cache_hits > 0
+    assert replica_result.cache_fill_rows > 0
+    assert replica_result.stale_rows == 0
+    assert trainer.replica_drift() == 0.0
+
+
+@pytest.mark.parametrize("staleness", [1, 2, 4])
+def test_stale_k_diverges_deterministically(
+    tiny_model_config, tiny_click_log, staleness
+):
+    """Every stale-k > 0 changes the trajectory but is repeatable and
+    drift-free — staleness is uniform across replicas."""
+    _, merged_result = merged_run(DLRM, tiny_model_config, tiny_click_log, 2)
+    model_a, result_a, trainer_a = replicated_run(
+        DLRM, tiny_model_config, tiny_click_log, 2, mode=f"stale-{staleness}"
+    )
+    model_b, result_b, _ = replicated_run(
+        DLRM, tiny_model_config, tiny_click_log, 2, mode=f"stale-{staleness}"
+    )
+    # Step 0's loss is computed before any update lands, so it still
+    # matches the reference; afterwards the paths diverge.
+    assert result_a.losses[0] == merged_result.losses[0]
+    assert result_a.losses != merged_result.losses
+    assert result_a.losses == result_b.losses
+    assert_bit_identical(model_a.state_snapshot(), model_b.state_snapshot())
+    assert trainer_a.replica_drift() == 0.0
+
+
+def test_deeper_staleness_defers_more_updates(tiny_model_config, tiny_click_log):
+    """The k-deep deque really holds k reduces in flight: deeper staleness
+    leaves more gradient unapplied at any point, so the trajectories of
+    k = 1, 2, 4 are pairwise distinct."""
+    losses = {}
+    for staleness in (1, 2, 4):
+        _, result, trainer = replicated_run(
+            DLRM, tiny_model_config, tiny_click_log, 2, mode=f"stale-{staleness}"
+        )
+        losses[staleness] = result.losses
+        assert len(trainer._pending_dense) == staleness
+    assert losses[1] != losses[2]
+    assert losses[2] != losses[4]
+
+
 def test_stale_mode_diverges_after_first_step(tiny_model_config, tiny_click_log):
     """stale-1 applies the dense reduce one step late: step 0 matches, then not."""
     _, merged_result = merged_run(DLRM, tiny_model_config, tiny_click_log, 2)
@@ -163,11 +233,11 @@ def test_replicas_own_distinct_parameter_storage(tiny_model_config, tiny_click_l
     other = trainer.replicas[1].model
     assert other is not model
     for (param_a, _), (param_b, _) in zip(
-        model.dense_parameters(), other.dense_parameters()
+        model.dense_parameters(), other.dense_parameters(), strict=True
     ):
         assert not np.shares_memory(param_a, param_b)
         np.testing.assert_array_equal(param_a, param_b)
-    for table_a, table_b in zip(model.tables, other.tables):
+    for table_a, table_b in zip(model.tables, other.tables, strict=True):
         assert not np.shares_memory(table_a.weight, table_b.weight)
 
 

@@ -74,7 +74,7 @@ def test_invalid_prefetch_depth(log):
 # ---------------------------------------------------------------------- #
 def assert_same_batches(left, right):
     assert len(left) == len(right)
-    for a, b in zip(left, right):
+    for a, b in zip(left, right, strict=True):
         np.testing.assert_array_equal(a.dense, b.dense)
         np.testing.assert_array_equal(a.sparse, b.sparse)
         np.testing.assert_array_equal(a.labels, b.labels)
@@ -103,6 +103,44 @@ def test_prefetch_early_break_does_not_hang(log):
     assert len(list(loader)) == len(loader)
 
 
+def _prefetch_threads():
+    import threading
+
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("minibatch-prefetch")
+    ]
+
+
+def test_abandoned_prefetch_iterator_leaks_no_worker_thread(log):
+    """Regression: the worker used to stay blocked on the full queue when
+    the consumer abandoned the iterator mid-epoch; close() must drain the
+    queue and *join* the thread."""
+    assert _prefetch_threads() == []
+    iterator = MiniBatchLoader(log, batch_size=64, prefetch=2).epoch(prefetch=2)
+    next(iterator)  # abandon after one batch, worker ahead on a full queue
+    iterator.close()
+    assert _prefetch_threads() == []
+
+
+def test_prefetch_break_joins_worker_thread(log):
+    """The early-break path (GeneratorExit via refcount) joins the worker too."""
+    loader = MiniBatchLoader(log, batch_size=64, prefetch=3)
+    for i, _batch in enumerate(loader):
+        if i == 0:
+            break
+    # CPython closes the abandoned generator as the loop's reference dies;
+    # the finally block must have drained and joined before returning.
+    assert _prefetch_threads() == []
+
+
+def test_exhausted_prefetch_epoch_joins_worker_thread(log):
+    loader = MiniBatchLoader(log, batch_size=256, prefetch=2)
+    assert len(list(loader)) == len(loader)
+    assert _prefetch_threads() == []
+
+
 def test_prefetch_propagates_producer_errors():
     class ExplodingLog:
         num_samples = 256
@@ -120,6 +158,24 @@ def test_prefetch_propagates_producer_errors():
     loader._rng = np.random.default_rng(0)
     with pytest.raises(RuntimeError, match="boom"):
         list(loader)
+
+
+# ---------------------------------------------------------------------- #
+# Epoch-order exposure (lookahead consumers)
+# ---------------------------------------------------------------------- #
+def test_last_epoch_order_mirrors_the_served_epoch(log):
+    """epoch() records the eagerly-drawn order so lookahead consumers can
+    walk the in-flight epoch's batches without touching the RNG."""
+    loader = MiniBatchLoader(log, batch_size=100, shuffle=True, seed=6)
+    assert loader.last_epoch_order is None
+    first = list(loader)
+    order = loader.last_epoch_order
+    assert order is not None
+    np.testing.assert_array_equal(first[0].labels, log.labels[order[:100]])
+    # A sequential loader records None (identity order).
+    sequential = MiniBatchLoader(log, batch_size=100)
+    list(sequential)
+    assert sequential.last_epoch_order is None
 
 
 # ---------------------------------------------------------------------- #
@@ -161,7 +217,7 @@ def test_sharded_loader_batch_not_divisible_by_shards(log):
 
     loader = MiniBatchLoader(log, batch_size=100)
     sharded = ShardedLoader(loader, 3)
-    for shards, batch in zip(sharded, loader):
+    for shards, batch in zip(sharded, loader, strict=True):
         sizes = [shard.size for shard in shards]
         assert sum(sizes) == batch.size == 100
         assert max(sizes) - min(sizes) <= 1
@@ -214,7 +270,7 @@ def test_sharded_loader_single_shard_is_identity(log):
     from repro.data.loader import ShardedLoader
 
     loader = MiniBatchLoader(log, batch_size=128)
-    for shards, batch in zip(ShardedLoader(loader, 1), loader):
+    for shards, batch in zip(ShardedLoader(loader, 1), loader, strict=True):
         assert len(shards) == 1
         assert shards[0].size == batch.size
         np.testing.assert_array_equal(shards[0].labels, batch.labels)

@@ -97,3 +97,24 @@ def test_embedding_alltoall_prices_forward_and_backward():
     assert embedding_alltoall_time(many_rows, row_bytes, 8, link) < (
         embedding_alltoall_time(many_rows, row_bytes, 4, link)
     )
+
+
+def test_cache_fill_time_prices_alltoall_plus_dma():
+    from repro.hwsim.collectives import cache_fill_time, embedding_alltoall_time
+    from repro.hwsim.dma import DMAEngine
+
+    link = NVLINK2
+    rows, row_bytes, p = 2048, 128.0, 4
+    dma = DMAEngine()
+    priced = cache_fill_time(rows, row_bytes, p, link, dma=dma)
+    # The round-trip all-to-all with the owners plus the host-DRAM gather.
+    assert priced == pytest.approx(
+        embedding_alltoall_time(rows, row_bytes, p, link)
+        + DMAEngine().read_time(rows * row_bytes)
+    )
+    assert dma.bytes_read == rows * row_bytes  # the live engine tracked it
+    # Degenerate inputs price to zero; one replica still pays the DMA term.
+    assert cache_fill_time(0, row_bytes, p, link) == 0.0
+    assert cache_fill_time(rows, 0.0, p, link) == 0.0
+    solo = cache_fill_time(rows, row_bytes, 1, link)
+    assert solo == pytest.approx(DMAEngine().read_time(rows * row_bytes))

@@ -77,7 +77,7 @@ def test_hotline_and_reference_converge_identically(scaled_config, click_log):
 
     assert len(hotline_result.auc_history) == len(reference_result.auc_history)
     for (it_a, auc_a), (it_b, auc_b) in zip(
-        hotline_result.auc_history, reference_result.auc_history
+        hotline_result.auc_history, reference_result.auc_history, strict=True
     ):
         assert it_a == it_b
         assert auc_a == pytest.approx(auc_b, abs=1e-9)

@@ -59,7 +59,7 @@ def test_normalizer_scales_gradients(tiny_dlrm, tiny_click_log):
     summed_dense = [grad.copy() for _, grad in tiny_dlrm.dense_parameters()]
     tiny_dlrm.zero_grad()
     _, grads_mean = tiny_dlrm.loss_and_gradients(batch, normalizer=32)
-    for (_, grad), summed in zip(tiny_dlrm.dense_parameters(), summed_dense):
+    for (_, grad), summed in zip(tiny_dlrm.dense_parameters(), summed_dense, strict=True):
         np.testing.assert_allclose(grad * 32, summed, rtol=1e-10)
     np.testing.assert_allclose(grads_mean[0].values * 32, grads_sum[0].values, rtol=1e-10)
 

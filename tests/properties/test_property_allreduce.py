@@ -13,7 +13,9 @@ random partial sets, bucket sizes, and packings to assert:
 * **dtype preservation** — float32 partials reduce to float32 (no silent
   upcast), the ``merge_sparse_gradients`` drift class of bug;
 * **mode ordering** — exposed communication obeys
-  ``stale-1 (0) <= overlap <= sync (total)``;
+  ``stale-(k+1) <= stale-k <= ... <= stale-1 <= overlap <= sync (total)``,
+  with ``stale-k`` exposing exactly ``max(0, total - k * compute)`` and
+  ``stale-0`` degenerating to ``sync``;
 * **partition routing** — row-wise routing of a merged sparse gradient is a
   partition: concatenating the per-owner pieces reproduces the original,
   and every row lands on the shard that owns it.
@@ -111,13 +113,15 @@ def test_float32_partials_reduce_to_float32(partials, reducer):
     num_elements=st.integers(1, 4096),
     bucket_elements=st.integers(1, 1024),
     compute=st.floats(0.0, 1.0, allow_nan=False),
+    staleness=st.integers(1, 6),
 )
 @settings(max_examples=60, deadline=None)
-def test_mode_exposure_ordering(num_elements, bucket_elements, compute):
-    """stale-1 exposes nothing, overlap at most sync, sync the full total."""
+def test_mode_exposure_ordering(num_elements, bucket_elements, compute, staleness):
+    """Deeper staleness exposes less: stale-(k+1) <= stale-k <= overlap <= sync."""
     cluster = single_node(4)
     schedules = {}
-    for mode in ("sync", "overlap", "stale-1"):
+    modes = ("sync", "overlap", f"stale-{staleness}", f"stale-{staleness + 1}")
+    for mode in modes:
         reducer = GradientBucketReducer(
             4,
             bucket_bytes=bucket_elements * WIRE_BYTES_PER_ELEMENT,
@@ -127,8 +131,29 @@ def test_mode_exposure_ordering(num_elements, bucket_elements, compute):
         schedules[mode] = reducer.schedule(num_elements, compute)
     total = schedules["sync"].total_s
     assert schedules["sync"].exposed_s == total
-    assert schedules["stale-1"].exposed_s == 0.0
+    # stale-k pipelines the reduce behind k compute windows; the remainder
+    # is exposed, so staleness buys exposure down monotonically.
+    stale_k = schedules[f"stale-{staleness}"].exposed_s
+    stale_deeper = schedules[f"stale-{staleness + 1}"].exposed_s
+    assert stale_k == max(0.0, total - staleness * compute)
+    assert stale_deeper <= stale_k <= schedules["overlap"].exposed_s + 1e-15
     assert 0.0 <= schedules["overlap"].exposed_s <= total + 1e-15
+    # A compute window covering the whole wire time hides stale-1 entirely
+    # (the PR 3 behaviour); stale-0 is sync by definition.
+    hiding = GradientBucketReducer(
+        4,
+        bucket_bytes=bucket_elements * WIRE_BYTES_PER_ELEMENT,
+        mode="stale-1",
+        cluster=cluster,
+    )
+    assert hiding.exposed_time(list(schedules["sync"].per_bucket_s), total) == 0.0
+    alias = GradientBucketReducer(
+        4,
+        bucket_bytes=bucket_elements * WIRE_BYTES_PER_ELEMENT,
+        mode="stale-0",
+        cluster=cluster,
+    )
+    assert alias.schedule(num_elements, compute).exposed_s == total
     # The wire time itself is mode-independent.
     assert schedules["overlap"].per_bucket_s == schedules["sync"].per_bucket_s
 

@@ -77,10 +77,10 @@ def test_merge_sparse_gradients_preserves_total_mass(data):
     merged = merge_sparse_gradients(parts)
     dense_total = np.zeros((100, dim))
     for part in parts:
-        for idx, value in zip(part.indices, part.values):
+        for idx, value in zip(part.indices, part.values, strict=True):
             dense_total[idx] += value
     dense_merged = np.zeros((100, dim))
-    for idx, value in zip(merged.indices, merged.values):
+    for idx, value in zip(merged.indices, merged.values, strict=True):
         dense_merged[idx] += value
     np.testing.assert_allclose(dense_merged, dense_total, rtol=1e-12, atol=1e-12)
     assert len(np.unique(merged.indices)) == merged.nnz
