@@ -2,9 +2,49 @@
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.hwsim import multi_node, single_node
 from repro.models import RM1, RM2, RM3, RM4
 from repro.perf import TrainingCostModel
+
+#: Machine-readable benchmark artifact (uploaded by the nightly CI job so
+#: the perf trajectory of the sparse hot path is tracked across commits).
+#: Override the location with the ``BENCH_JSON`` environment variable.
+BENCH_JSON_DEFAULT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_sparse_path.json",
+)
+
+
+def record_bench(op: str, *, config: str, seconds: float, speedup: float | None = None) -> None:
+    """Append one benchmark observation to ``BENCH_sparse_path.json``.
+
+    Each entry is ``{"op", "config", "seconds", "speedup"}``; re-running a
+    benchmark replaces its previous entry (the file accumulates one row per
+    op, not per run), so the artifact is a snapshot of the latest run.
+    """
+    path = os.environ.get("BENCH_JSON", BENCH_JSON_DEFAULT)
+    entries = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                entries = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            entries = []
+    entries = [entry for entry in entries if entry.get("op") != op]
+    entries.append(
+        {
+            "op": op,
+            "config": config,
+            "seconds": round(float(seconds), 6),
+            "speedup": None if speedup is None else round(float(speedup), 3),
+        }
+    )
+    with open(path, "w") as handle:
+        json.dump(entries, handle, indent=2)
+        handle.write("\n")
 
 #: The four real-world workloads in the order the paper's figures use.
 WORKLOADS = [

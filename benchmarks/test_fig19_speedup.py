@@ -62,9 +62,15 @@ def test_fig19_framework_speedups(benchmark):
         assert table[(label, 4)]["FAE"] > table[(label, 4)]["DLRM"], label
 
     # Geometric-mean speedups of Hotline over each framework at 4 GPUs.
-    over_xdl = geomean(table[(label, 4)]["Hotline"] / table[(label, 4)]["XDL"] for label, _ in WORKLOADS)
-    over_dlrm = geomean(table[(label, 4)]["Hotline"] / table[(label, 4)]["DLRM"] for label, _ in WORKLOADS)
-    over_fae = geomean(table[(label, 4)]["Hotline"] / table[(label, 4)]["FAE"] for label, _ in WORKLOADS)
+    over_xdl = geomean(
+        table[(label, 4)]["Hotline"] / table[(label, 4)]["XDL"] for label, _ in WORKLOADS
+    )
+    over_dlrm = geomean(
+        table[(label, 4)]["Hotline"] / table[(label, 4)]["DLRM"] for label, _ in WORKLOADS
+    )
+    over_fae = geomean(
+        table[(label, 4)]["Hotline"] / table[(label, 4)]["FAE"] for label, _ in WORKLOADS
+    )
     print(
         f"\nGeomean Hotline speedups at 4 GPUs: {over_xdl:.2f}x over XDL "
         f"(paper 3.4x), {over_dlrm:.2f}x over Intel DLRM (paper 2.2x), "

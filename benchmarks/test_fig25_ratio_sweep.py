@@ -37,7 +37,8 @@ def test_fig25_popular_ratio_sweep(benchmark):
     print()
     print(
         format_table(
-            ["popular:non-popular", "GPU popular exec (ms)", "gather (ms)", "exposed (ms)", "hidden"],
+            ["popular:non-popular", "GPU popular exec (ms)", "gather (ms)",
+             "exposed (ms)", "hidden"],
             rows,
             title="Figure 25: hiding the non-popular gather (Criteo Terabyte, 4K batch)",
         )

@@ -41,7 +41,8 @@ def test_fig28_synthetic_model_scaling(benchmark):
     print()
     print(
         format_table(
-            ["model", "sparse features", "size GB", "Hotline speedup over DLRM", "segregation cycles"],
+            ["model", "sparse features", "size GB", "Hotline speedup over DLRM",
+             "segregation cycles"],
             rows,
             title="Figure 28: large multi-hot synthetic models (4 GPUs)",
         )

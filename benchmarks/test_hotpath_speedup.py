@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from benchmarks.figutils import record_bench
 from repro.core.classifier import split_minibatch
 from repro.core.hotset import HotSetIndex
 from repro.data import MiniBatch, generate_click_log
@@ -86,6 +87,12 @@ def test_embedding_forward_backward_speedup(benchmark):
         f"\nembedding fwd+bwd @ batch {BATCH_SIZE}: loop {loop_time * 1e3:.2f} ms, "
         f"vectorized {fast_time * 1e3:.2f} ms, speedup {speedup:.1f}x"
     )
+    record_bench(
+        "embedding_forward_backward",
+        config=f"RM1.scaled(20k) batch={BATCH_SIZE}, dim={CONFIG.embedding_dim}",
+        seconds=fast_time,
+        speedup=speedup,
+    )
     assert speedup >= MIN_SPEEDUP
 
 
@@ -117,5 +124,11 @@ def test_split_minibatch_speedup(benchmark):
         f"\nsplit_minibatch @ batch {BATCH_SIZE}, full RM1 tables: "
         f"np.isin {loop_time * 1e3:.2f} ms, bitmap {fast_time * 1e3:.2f} ms, "
         f"speedup {speedup:.0f}x"
+    )
+    record_bench(
+        "split_minibatch_classification",
+        config=f"full RM1 tables, batch={BATCH_SIZE}, hot=1/8 of each table",
+        seconds=fast_time,
+        speedup=speedup,
     )
     assert speedup >= MIN_SPEEDUP

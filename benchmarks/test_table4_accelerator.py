@@ -30,7 +30,11 @@ def build_spec_rows():
 def test_table4_accelerator_spec(benchmark):
     rows = benchmark(build_spec_rows)
     print()
-    print(format_table(["parameter", "setting"], rows, title="Table IV: Accelerator Specifications"))
+    print(
+        format_table(
+            ["parameter", "setting"], rows, title="Table IV: Accelerator Specifications"
+        )
+    )
     spec = HOTLINE_ACCELERATOR_SPEC
     assert spec.frequency_hz == pytest.approx(350e6)
     assert spec.total_area_mm2 == pytest.approx(7.01)

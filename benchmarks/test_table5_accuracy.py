@@ -32,7 +32,9 @@ def run_all():
             row_bytes=config.embedding_dim * 4,
             eal_config=EALConfig(size_bytes=1 << 16, ways=16),
         )
-        hotline = HotlineTrainer(model_cls(config, seed=29), accelerator, lr=0.2, sample_fraction=0.3)
+        hotline = HotlineTrainer(
+            model_cls(config, seed=29), accelerator, lr=0.2, sample_fraction=0.3
+        )
         hotline.learning_phase(loader)
         hotline_metrics = hotline.train(loader, epochs=2, eval_batch=eval_batch).final_metrics
         baseline_metrics = (
@@ -61,7 +63,8 @@ def test_table5_accuracy_parity(benchmark):
     print()
     print(
         format_table(
-            ["dataset", "DLRM acc%", "DLRM AUC", "DLRM logloss", "Hotline acc%", "Hotline AUC", "Hotline logloss"],
+            ["dataset", "DLRM acc%", "DLRM AUC", "DLRM logloss",
+             "Hotline acc%", "Hotline AUC", "Hotline logloss"],
             printable,
             title="Table V: accuracy metrics, baseline vs Hotline (scaled datasets)",
         )

@@ -11,42 +11,102 @@ and accumulating the gradients is numerically identical to training on M
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.hotset import HotSetIndex, as_hot_set_index
 from repro.data.batch import MiniBatch
 
 
-@dataclass
 class MicroBatches:
     """The two µ-batches produced from one mini-batch.
 
+    Built either *eagerly* (both µ-batches materialised up front — the
+    historical behaviour) or *lazily* from the source batch and the mask
+    (``split_minibatch(..., materialize=False)``).  The lazy form is what
+    the fused execution path uses: it trains through the original batch
+    plus :meth:`segment_indices`, so the µ-batch copies (dense, sparse,
+    and label selections, twice per step) are never built unless a caller
+    actually reads :attr:`popular`/:attr:`non_popular` — at which point
+    they materialise on demand, identical to the eager ones.
+
     Attributes:
-        popular: Inputs touching only frequently-accessed rows.
-        non_popular: Inputs touching at least one non-frequently-accessed row.
         popular_mask: Boolean mask over the original mini-batch.
     """
 
-    popular: MiniBatch
-    non_popular: MiniBatch
-    popular_mask: np.ndarray
+    def __init__(
+        self,
+        popular: MiniBatch | None = None,
+        non_popular: MiniBatch | None = None,
+        popular_mask: np.ndarray | None = None,
+        *,
+        source: MiniBatch | None = None,
+    ):
+        if popular_mask is None:
+            raise ValueError("popular_mask is required")
+        self.popular_mask = np.asarray(popular_mask, dtype=bool)
+        if source is None and (popular is None or non_popular is None):
+            raise ValueError("provide both µ-batches or a source batch")
+        self._popular = popular
+        self._non_popular = non_popular
+        self._source = source
+
+    @property
+    def popular(self) -> MiniBatch:
+        """Inputs touching only frequently-accessed rows."""
+        if self._popular is None:
+            self._popular = self._source.select(np.nonzero(self.popular_mask)[0])
+        return self._popular
+
+    @property
+    def non_popular(self) -> MiniBatch:
+        """Inputs touching at least one non-frequently-accessed row."""
+        if self._non_popular is None:
+            self._non_popular = self._source.select(np.nonzero(~self.popular_mask)[0])
+        return self._non_popular
+
+    @property
+    def popular_count(self) -> int:
+        """Number of popular inputs (mask popcount — never materialises)."""
+        return int(np.count_nonzero(self.popular_mask))
 
     @property
     def popular_fraction(self) -> float:
         """Fraction of inputs classified popular."""
-        total = self.popular.size + self.non_popular.size
-        return self.popular.size / total if total else 0.0
+        total = self.popular_mask.size
+        return self.popular_count / total if total else 0.0
 
     @property
     def sizes(self) -> tuple[int, int]:
         """(popular size, non-popular size)."""
-        return self.popular.size, self.non_popular.size
+        popular = self.popular_count
+        return popular, int(self.popular_mask.size) - popular
+
+    def segments(self) -> tuple[MiniBatch, ...]:
+        """The non-empty µ-batches in accumulation order (popular first)."""
+        return tuple(
+            micro for micro in (self.popular, self.non_popular) if micro.size
+        )
+
+    def segment_indices(self) -> tuple[np.ndarray, ...]:
+        """Sample-index arrays of the non-empty µ-batches (popular first).
+
+        The ascending index arrays partition the original mini-batch
+        (Eq. 3) and are what the fused execution path trains through one
+        embedding gather/scatter pass
+        (:meth:`~repro.models.dlrm.DLRM.fused_loss_and_gradients`); their
+        order matches :meth:`segments`, which is what keeps the fused
+        update bit-identical to the sequential loop.
+        """
+        mask = np.asarray(self.popular_mask, dtype=bool)
+        candidates = (np.nonzero(mask)[0], np.nonzero(~mask)[0])
+        return tuple(idx for idx in candidates if idx.size)
 
 
 def split_minibatch(
-    batch: MiniBatch, hot_sets: list[np.ndarray] | HotSetIndex
+    batch: MiniBatch,
+    hot_sets: list[np.ndarray] | HotSetIndex,
+    *,
+    materialize: bool = True,
 ) -> MicroBatches:
     """Fragment ``batch`` into popular / non-popular µ-batches.
 
@@ -57,6 +117,10 @@ def split_minibatch(
             :class:`~repro.core.hotset.HotSetIndex` over them.  The hot path
             passes the prebuilt index so each step performs one fancy-index
             per table instead of an ``np.isin`` set scan.
+        materialize: Build the two µ-batch copies eagerly (default).  The
+            fused execution path passes ``False`` — it trains through the
+            original batch and the classification mask, so the copies are
+            only built if something actually reads them.
 
     Returns:
         A :class:`MicroBatches` whose two µ-batches partition the input.
@@ -67,5 +131,7 @@ def split_minibatch(
             f"expected {batch.num_tables} hot sets (one per table), got {index.num_tables}"
         )
     mask = index.classify(batch.sparse)
+    if not materialize:
+        return MicroBatches(popular_mask=mask, source=batch)
     popular, non_popular = batch.split(mask)
     return MicroBatches(popular=popular, non_popular=non_popular, popular_mask=mask)

@@ -66,7 +66,9 @@ class InputEDRAM:
 
     def bytes_for(self, num_inputs: int, lookups_per_input: int) -> int:
         """Buffer bytes needed by ``num_inputs`` non-popular inputs."""
-        return num_inputs * (self.header_bytes_per_input + lookups_per_input * self.bytes_per_lookup)
+        return num_inputs * (
+            self.header_bytes_per_input + lookups_per_input * self.bytes_per_lookup
+        )
 
     def fits(self, num_inputs: int, lookups_per_input: int) -> bool:
         """Whether the µ-batch fits in the eDRAM."""
@@ -108,7 +110,8 @@ class DataDispatcher:
             raise ValueError("one hot set per table is required")
         if not self.edram.fits(batch, num_tables * pooling):
             raise ValueError(
-                f"µ-batch of {batch} inputs does not fit in the {self.edram.size_bytes}-byte input eDRAM"
+                f"µ-batch of {batch} inputs does not fit in the "
+                f"{self.edram.size_bytes}-byte input eDRAM"
             )
         instructions: list[Instruction] = []
         for table in range(num_tables):

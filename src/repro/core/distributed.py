@@ -160,7 +160,8 @@ class _ShardedTrainerBase(StepExecutor):
         """
         sampled = loader.sample_batches(self.sample_fraction, seed=seed)
         for batch in sampled:
-            for shard_batch, replica in zip(batch.shards(self.num_shards), self.replicas, strict=True):
+            shards = batch.shards(self.num_shards)
+            for shard_batch, replica in zip(shards, self.replicas, strict=True):
                 if shard_batch.size:
                     replica.accelerator.learn_from_batch(shard_batch.sparse)
         config = self.model.config
@@ -370,6 +371,17 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             authoritative for pricing: the reducer is re-pointed at it on
             the first priced step, so a mid-run ``trainer.cluster`` swap
             re-prices every communication term consistently.
+        fused: Fused µ-batch execution (default on): each replica trains its
+            popular and non-popular µ-batches through one embedding gather
+            and one scatter per table
+            (:meth:`~repro.models.dlrm.DLRM.fused_loss_and_gradients`),
+            while per-µ-batch dense partials and sparse-gradient ordering
+            are preserved — bit-identical to the sequential two-pass path
+            kept under ``fused=False`` for the parity suite.
+        pending_store: Deferred write-back store of the lookahead pipeline
+            (``"flat"`` = vectorised flat arrays, ``"reference"`` = the
+            dict-based parity reference); forwarded to
+            :class:`~repro.core.lookahead.CachedEmbeddingPipeline`.
     """
 
     def __init__(
@@ -389,6 +401,8 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         partition_embeddings: bool = False,
         lookahead_window: int = 0,
         reducer: GradientBucketReducer | None = None,
+        fused: bool = True,
+        pending_store: str = "flat",
     ):
         super().__init__(
             model,
@@ -426,6 +440,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         )
         if lookahead_window < 0:
             raise ValueError("lookahead_window must be >= 0")
+        self.fused = fused
         #: Optional BagPipe-style cached-embedding lookahead pipeline.
         self.lookahead: CachedEmbeddingPipeline | None = None
         if lookahead_window > 0:
@@ -441,6 +456,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
                 # does not exist.
                 num_replicas=num_shards if partition_embeddings else 1,
                 link=self._fill_link(),
+                pending_store=pending_store,
             )
         #: Reduced dense gradients in flight (``stale-k``: a k-deep deque —
         #: the gradient of step t is applied at step t + k).
@@ -590,21 +606,47 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
                 remote_lookups += self.partition.remote_lookup_count(
                     shard_batch.sparse, shard_id
                 )
-            micro = split_minibatch(shard_batch, replica.placement.index)
-            popular_size += micro.popular.size
-            for micro_batch in (micro.popular, micro.non_popular):
-                if micro_batch.size == 0:
-                    continue
+            micro = split_minibatch(
+                shard_batch, replica.placement.index, materialize=not self.fused
+            )
+            popular_size += micro.popular_count
+            if self.fused:
+                # Fused µ-batch execution: one embedding gather + scatter
+                # per table for the replica's two µ-batches.  The
+                # after-segment hook snapshots each µ-batch's flat dense
+                # partial and zeroes the layers, so the reducer still
+                # chain-sums per-µ-batch partials in the exact rank-major
+                # order the merged reference accumulates in — as does the
+                # sparse exchange with the per-segment gradients —
+                # keeping the fused path bit-identical to the sequential
+                # one.  Losses fold in segment order through the hook too.
+                def after_segment(_s, seg_loss, model=replica.model):
+                    nonlocal total_loss
+                    total_loss += seg_loss
+                    dense_partials.append(self._flat_dense_gradient(model))
+                    model.zero_grad()
+
                 replica.model.zero_grad()
                 # Global-batch normalisation keeps the reduced K-replica
                 # update identical to the single-replica one (Eq. 5).
-                loss, sparse_grads = replica.model.loss_and_gradients(
-                    micro_batch, normalizer=batch.size
+                _losses, table_grads = replica.model.fused_loss_and_gradients(
+                    shard_batch,
+                    micro.segment_indices(),
+                    normalizer=batch.size,
+                    after_segment=after_segment,
                 )
-                total_loss += loss
-                dense_partials.append(self._flat_dense_gradient(replica.model))
-                for table, grad in enumerate(sparse_grads):
-                    partial_sparse[table].append(grad)
+                for table, grads in enumerate(table_grads):
+                    partial_sparse[table].extend(grads)
+            else:
+                for micro_batch in micro.segments():
+                    replica.model.zero_grad()
+                    loss, sparse_grads = replica.model.loss_and_gradients(
+                        micro_batch, normalizer=batch.size
+                    )
+                    total_loss += loss
+                    dense_partials.append(self._flat_dense_gradient(replica.model))
+                    for table, grad in enumerate(sparse_grads):
+                        partial_sparse[table].append(grad)
         self.last_remote_lookups = remote_lookups
 
         reduced = self.reducer.reduce(dense_partials) if dense_partials else None
@@ -645,6 +687,48 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             replica.model.apply_sparse_updates(sparse_updates, self.lr)
         popular_fraction = popular_size / batch.size if batch.size else 0.0
         return total_loss, popular_fraction
+
+    # ------------------------------------------------------------------ #
+    # End-of-run drain
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> StepOutcome | None:
+        """Apply every in-flight gradient before the final evaluation.
+
+        Drains the stale-k deque of reduced dense gradients (in flight
+        order) and the lookahead pipeline's still-deferred sparse
+        write-backs (:meth:`~repro.core.lookahead.CachedEmbeddingPipeline.
+        drain`), applying both to every replica.  Without this, the last k
+        dense reduces and the deferred rows died with the run — so a
+        stale-k sweep's final metrics compared models trained on different
+        numbers of gradients.  Sync-mode runs have nothing in flight and
+        return ``None``.
+        """
+        dense_updates = [flat for flat in self._pending_dense if flat is not None]
+        self._pending_dense.clear()
+        sparse_updates = None
+        stale_rows = 0
+        prefetch = 0.0
+        if self.lookahead is not None:
+            sparse_updates = self.lookahead.drain()
+            if sparse_updates is not None:
+                stats = self.lookahead.last_stats
+                stale_rows = stats.stale_rows
+                prefetch = stats.prefetch_time_s
+        if not dense_updates and sparse_updates is None:
+            return None
+        for replica in self.replicas:
+            for flat in dense_updates:
+                self._apply_dense_gradient(replica.model, flat)
+            if sparse_updates is not None:
+                replica.model.apply_sparse_updates(sparse_updates, self.lr)
+        # The drain's write-back traffic has no step to hide under, so it
+        # is exposed communication in full.
+        return StepOutcome(
+            loss=0.0,
+            communication_time_s=prefetch,
+            stale_rows=stale_rows,
+            prefetch_time_s=prefetch,
+        )
 
     # ------------------------------------------------------------------ #
     # Replica invariants

@@ -175,8 +175,22 @@ class StepExecutor(abc.ABC):
     def run_step(self, batch: MiniBatch) -> StepOutcome:
         """Execute one training step and report its observations."""
 
-    def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> None:  # noqa: B027 - optional hook
+    def recalibrate(self, loader: MiniBatchLoader, seed: int = 0) -> None:  # noqa: B027
         """React to a recalibration point of the schedule (default: no-op)."""
+
+    def finalize(self) -> StepOutcome | None:
+        """Drain in-flight pipeline state when the training loop ends.
+
+        Executors that pipeline their synchronisation — the stale-k dense
+        deque, the lookahead cache's deferred sparse write-backs — override
+        this to apply everything still in flight, so the model the engine
+        evaluates reflects *all* computed gradients rather than silently
+        dropping the last k of them (which made a staleness sweep's final
+        metrics fold a dropped-tail effect into the staleness effect).
+        Returns a :class:`StepOutcome` describing the drain's traffic
+        (its ``loss`` is ignored), or ``None`` when nothing was in flight.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # Shared timing helper
@@ -289,6 +303,19 @@ class TrainingEngine:
                     result.auc_history.append(
                         (iteration, evaluate(self.executor.model, eval_batch)["auc"])
                     )
+        # Drain pipelined executors (stale-k deque, deferred sparse
+        # write-backs) *before* the final evaluation, so staleness sweeps
+        # compare fully-applied models rather than dropped tails.
+        drained = self.executor.finalize()
+        if drained is not None:
+            result.compute_time_s += drained.compute_time_s
+            result.communication_time_s += drained.communication_time_s
+            result.simulated_time_s += drained.step_time_s
+            result.cache_hits += drained.cache_hits
+            result.cache_misses += drained.cache_misses
+            result.cache_fill_rows += drained.cache_fill_rows
+            result.stale_rows += drained.stale_rows
+            result.prefetch_time_s += drained.prefetch_time_s
         if eval_batch is not None:
             result.final_metrics = evaluate(self.executor.model, eval_batch)
             result.auc_history.append((iteration, result.final_metrics["auc"]))

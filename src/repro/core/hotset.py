@@ -92,6 +92,18 @@ class HotSetIndex:
         """Length of one table's bitmap."""
         return int(self._bitmaps[table].shape[0])
 
+    def bitmap(self, table: int) -> np.ndarray:
+        """One table's boolean membership bitmap (treat as read-only).
+
+        Exposed for vectorised callers that combine membership with their
+        own per-row arrays in one boolean-mask pass — e.g. the lookahead
+        cache's flat pending store ANDs this bitmap with its birth-step
+        comparison to find age-expired rows without materialising id lists.
+        Mutate through :meth:`set_rows`/:meth:`clear_rows` only, so the
+        lazily-rebuilt ``hot_sets`` arrays stay in sync.
+        """
+        return self._bitmaps[table]
+
     def hot_count(self, table: int) -> int:
         """Number of set bits in one table's bitmap.
 

@@ -40,6 +40,30 @@ functional trainers:
   DRAM; evictions add the write-back DMA term.  Like the bucketed reducer,
   a pipeline built without a link prices everything at zero (numeric /
   accounting-only use).
+* **Flat pending store** — deferred write-backs live in a
+  :class:`FlatPendingStore`: per table, a dense ``(rows, dim)`` gradient
+  accumulation buffer, a pending bitmap (a
+  :class:`~repro.core.hotset.HotSetIndex` table, the same structure that
+  backs cache membership), and a parallel ``int32`` birth-step array.
+  ``defer`` is one ``np.add.at``; the age/eviction flush is boolean-mask
+  arithmetic; ``take`` is one gather + zero-fill — so the lookahead
+  machinery itself is constant-overhead (no O(nnz) interpreter loop), the
+  property BagPipe needs for the pipeline to win at Criteo-Terabyte table
+  scale.  The original dict-of-rows implementation survives as
+  :class:`ReferencePendingStore` (``pending_store="reference"``), the
+  ground truth of the bit-parity suite and the speedup benchmark.
+
+**Invariants** (asserted by the parity/regression suites):
+
+1. Flushed gradients are bit-identical between the two stores: rows flush
+   in sorted order and each row's value accumulates in arrival order.
+2. A row's birth step is set exactly when it first defers and cleared
+   exactly when it flushes; buffer, bitmap, and birth array always move
+   together (``reset``/``clear`` included), so no state survives a flush
+   or a trainer re-bind.
+3. Every deferred unit of gradient is applied exactly once — on eviction,
+   at the staleness bound, at an epoch-boundary carry, or through the
+   end-of-run :meth:`CachedEmbeddingPipeline.drain`.
 """
 
 from __future__ import annotations
@@ -112,6 +136,290 @@ def _in_sorted(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
     return mask
 
 
+class ReferencePendingStore:
+    """Dict-of-rows deferred write-back store — the bit-parity reference.
+
+    The original (pre-flat-store) implementation: one ``dict[int,
+    np.ndarray]`` of accumulated gradient rows plus one ``dict[int, int]``
+    of birth steps per table.  Every ``defer``/``take`` walks the step's
+    rows in the Python interpreter — O(nnz) dict churn per training step —
+    which is exactly the overhead :class:`FlatPendingStore` removes.  It is
+    retained as the ground truth the parity suite and the pending-store
+    benchmark compare against (the same role the loop-based
+    ``reference_forward``/``reference_backward`` play for the embedding hot
+    path); select it with ``CachedEmbeddingPipeline(pending_store=
+    "reference")``.
+    """
+
+    def __init__(self, rows_per_table: tuple[int, ...]):
+        self.rows_per_table = tuple(int(rows) for rows in rows_per_table)
+        self._pending: list[dict[int, np.ndarray]] = [{} for _ in self.rows_per_table]
+        self._births: list[dict[int, int]] = [{} for _ in self.rows_per_table]
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables the store covers."""
+        return len(self.rows_per_table)
+
+    @property
+    def total_pending(self) -> int:
+        """Deferred (not yet written back) rows across tables."""
+        return sum(len(pending) for pending in self._pending)
+
+    def pending_count(self, table: int) -> int:
+        """Deferred rows of one table."""
+        return len(self._pending[table])
+
+    def defer(self, table: int, grad: SparseGradient, step: int) -> None:
+        """Accumulate one merged gradient; new rows are born at ``step``."""
+        pending = self._pending[table]
+        births = self._births[table]
+        for row, value in zip(grad.indices.tolist(), grad.values, strict=True):
+            if row in pending:
+                pending[row] = pending[row] + value
+            else:
+                pending[row] = value.copy()
+                births[row] = step
+
+    def pending_mask(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``rows``: True where the row is deferred."""
+        pending = self._pending[table]
+        return np.fromiter(
+            (int(row) in pending for row in rows), dtype=bool, count=rows.size
+        )
+
+    def aged_rows(self, table: int, step: int, staleness: int) -> np.ndarray:
+        """Sorted rows whose oldest contribution is ``staleness`` steps old."""
+        births = self._births[table]
+        aged = sorted(row for row, birth in births.items() if step - birth >= staleness)
+        return np.asarray(aged, dtype=np.int64)
+
+    def birth_steps(self, table: int) -> dict[int, int]:
+        """``{row: birth step}`` of one table's deferred rows (tests)."""
+        return dict(self._births[table])
+
+    def take(self, table: int, rows: np.ndarray) -> SparseGradient:
+        """Remove the deferred subset of ``rows`` as one sparse gradient.
+
+        ``rows`` must be sorted; rows with nothing pending are skipped, so
+        the result's indices are the sorted deferred subset.
+        """
+        pending = self._pending[table]
+        births = self._births[table]
+        taken = [int(row) for row in rows if int(row) in pending]
+        if not taken:
+            return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 0)))
+        values = np.stack([pending.pop(row) for row in taken], axis=0)
+        for row in taken:
+            births.pop(row, None)
+        return SparseGradient(np.asarray(taken, dtype=np.int64), values)
+
+    def take_all(self, table: int) -> SparseGradient:
+        """Remove and return everything deferred for one table."""
+        return self.take(table, np.asarray(sorted(self._pending[table]), dtype=np.int64))
+
+    def clear(self) -> None:
+        """Drop all deferred gradients and their birth steps."""
+        for pending, births in zip(self._pending, self._births, strict=True):
+            pending.clear()
+            births.clear()
+
+
+class FlatPendingStore:
+    """Flat-array deferred write-back store: no per-row Python, ever.
+
+    Layout, per table:
+
+    * a dense ``(rows, dim)`` **gradient accumulation buffer** (lazily
+      allocated at the first deferred gradient, matching its dtype/width),
+    * a **pending bitmap** — one table of a
+      :class:`~repro.core.hotset.HotSetIndex`, the same structure that
+      backs cache membership — marking which buffer rows hold gradient,
+    * a parallel ``int32`` **birth-step array** recording when each pending
+      row's oldest contribution arrived (garbage outside the bitmap).
+
+    ``defer`` is one ``np.add.at`` scatter plus two bitmap ops; ``take`` is
+    one gather + zero-fill.  The age-based flush never scans the table:
+    each ``defer`` also appends its freshly-born rows to a per-table
+    **birth-bucket deque** (buckets are in birth order because steps are),
+    and ``aged_rows`` walks only the buckets past the staleness cutoff,
+    validating their rows with one boolean-mask pass (``bitmap[rows] &
+    (births[rows] == birth)`` — a row evicted or re-deferred since simply
+    fails the check).  Fully-invalidated aged buckets are pruned as they
+    are seen, so the amortised cost is O(rows flushed), independent of the
+    table size.  All operations are vectorised over the step's nnz — at
+    Criteo-Terabyte table scale the per-step cost no longer pays the
+    interpreter's O(nnz) dict churn, which is the
+    ``benchmarks/test_pending_store_speedup.py`` claim.  Results are
+    bit-identical to :class:`ReferencePendingStore` (rows flush in sorted
+    order; per-row values accumulate in arrival order), which the parity
+    suite asserts.
+    """
+
+    def __init__(self, rows_per_table: tuple[int, ...]):
+        self.rows_per_table = tuple(int(rows) for rows in rows_per_table)
+        num_tables = len(self.rows_per_table)
+        # The dense buffer and the birth array are allocated lazily at the
+        # first deferred gradient, so a store that never defers (the
+        # stale-0 fast path) costs only the bitmaps.
+        self._values: list[np.ndarray | None] = [None] * num_tables
+        self._births: list[np.ndarray | None] = [None] * num_tables
+        #: Pending membership, one HotSetIndex bitmap per table.
+        self._index = HotSetIndex(
+            [np.empty(0, dtype=np.int64) for _ in range(num_tables)],
+            self.rows_per_table,
+        )
+        self._counts = [0] * num_tables
+        #: Per-table ``(birth step, rows born then)`` buckets, birth order.
+        self._buckets: list[deque[tuple[int, np.ndarray]]] = [
+            deque() for _ in range(num_tables)
+        ]
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables the store covers."""
+        return len(self.rows_per_table)
+
+    @property
+    def total_pending(self) -> int:
+        """Deferred (not yet written back) rows across tables."""
+        return sum(self._counts)
+
+    def pending_count(self, table: int) -> int:
+        """Deferred rows of one table (incrementally tracked popcount)."""
+        return self._counts[table]
+
+    def defer(self, table: int, grad: SparseGradient, step: int) -> None:
+        """Accumulate one merged gradient; new rows are born at ``step``."""
+        if grad.nnz == 0:
+            return
+        indices = grad.indices
+        buffer = self._values[table]
+        if buffer is None:
+            buffer = np.zeros(
+                (self.rows_per_table[table], grad.values.shape[1]),
+                dtype=grad.values.dtype,
+            )
+            self._values[table] = buffer
+            self._births[table] = np.zeros(self.rows_per_table[table], dtype=np.int32)
+        bitmap = self._index.bitmap(table)
+        sorted_unique = indices.size <= 1 or not np.any(np.diff(indices) <= 0)
+        fresh = indices[~bitmap[indices]]
+        if not sorted_unique and fresh.size > 1:
+            fresh = np.unique(fresh)
+        if fresh.size:
+            self._births[table][fresh] = step
+            self._index.set_rows(table, fresh)
+            self._counts[table] += fresh.size
+            self._buckets[table].append((step, fresh))
+        if sorted_unique:
+            # Merged gradients carry sorted unique indices, so the
+            # fancy-index add hits every row exactly once — same result as
+            # the np.add.at scatter at a fraction of its cost.
+            buffer[indices] += grad.values
+        else:
+            # Duplicate (or unsorted) row ids: fall back to the slower
+            # duplicate-safe scatter so repeated contributions accumulate
+            # exactly as the dict reference accumulates them.
+            np.add.at(buffer, indices, grad.values)
+
+    def pending_mask(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``rows``: True where the row is deferred."""
+        return self._index.contains(table, rows)
+
+    def aged_rows(self, table: int, step: int, staleness: int) -> np.ndarray:
+        """Sorted rows whose oldest contribution is ``staleness`` steps old.
+
+        Walks only the birth buckets past the cutoff: a bucket row is still
+        aged-and-pending iff it is in the bitmap with its original birth
+        step (eviction flushes and re-deferrals invalidate it).  Buckets
+        that turn out fully invalid are dropped; partially valid ones are
+        compacted and kept until their rows flush, so repeated queries stay
+        cheap and nothing ever rescans the table.
+        """
+        buckets = self._buckets[table]
+        if not self._counts[table] or not buckets:
+            return np.empty(0, dtype=np.int64)
+        cutoff = step - staleness
+        bitmap = self._index.bitmap(table)
+        births = self._births[table]
+        collected: list[np.ndarray] = []
+        still_valid: list[tuple[int, np.ndarray]] = []
+        while buckets and buckets[0][0] <= cutoff:
+            birth, rows = buckets.popleft()
+            valid = rows[bitmap[rows] & (births[rows] == birth)]
+            if valid.size:
+                collected.append(valid)
+                still_valid.append((birth, valid))
+        # Aged-but-unflushed rows stay queued (compacted) in birth order.
+        for bucket in reversed(still_valid):
+            buckets.appendleft(bucket)
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(collected))
+
+    def birth_steps(self, table: int) -> dict[int, int]:
+        """``{row: birth step}`` of one table's deferred rows (tests)."""
+        rows = np.nonzero(self._index.bitmap(table))[0]
+        births = self._births[table]
+        return {int(row): int(births[row]) for row in rows}
+
+    def take(self, table: int, rows: np.ndarray) -> SparseGradient:
+        """Remove the deferred subset of ``rows`` as one sparse gradient.
+
+        One bitmap gather selects the deferred subset, one buffer gather
+        copies it out, and the touched buffer rows are zeroed in place —
+        the buffer, bitmap, and birth array always move together (a reused
+        trainer can never observe a row whose gradient was cleared but
+        whose birth survived, or vice versa).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size:
+            rows = rows[self._index.contains(table, rows)]
+        buffer = self._values[table]
+        if rows.size == 0 or buffer is None:
+            return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 0)))
+        values = buffer[rows].copy()
+        buffer[rows] = 0.0
+        self._index.clear_rows(table, rows)
+        self._counts[table] -= rows.size
+        return SparseGradient(rows, values)
+
+    def take_all(self, table: int) -> SparseGradient:
+        """Remove and return everything deferred for one table."""
+        return self.take(table, np.nonzero(self._index.bitmap(table))[0])
+
+    def clear(self) -> None:
+        """Drop all deferred gradients and their birth steps, atomically.
+
+        The gradient buffers, pending bitmaps, birth arrays, and popcounts
+        reset together — the regression suite pins that a reused trainer
+        starts from a state indistinguishable from a fresh store.
+        """
+        for table in range(self.num_tables):
+            buffer = self._values[table]
+            if buffer is not None:
+                buffer[:] = 0.0
+            births = self._births[table]
+            if births is not None:
+                births[:] = 0
+            if self._counts[table]:
+                self._index.replace_table(table, np.empty(0, dtype=np.int64))
+            self._counts[table] = 0
+            self._buckets[table].clear()
+
+
+def make_pending_store(
+    kind: str, rows_per_table: tuple[int, ...]
+) -> FlatPendingStore | ReferencePendingStore:
+    """Build a deferred write-back store by name (``"flat"``/``"reference"``)."""
+    if kind == "flat":
+        return FlatPendingStore(rows_per_table)
+    if kind == "reference":
+        return ReferencePendingStore(rows_per_table)
+    raise ValueError(f"unknown pending store {kind!r} (expected 'flat' or 'reference')")
+
+
 def epoch_row_stream(loader) -> Iterator[list[np.ndarray]]:
     """Per-batch, per-table unique-row arrays of the loader's current epoch.
 
@@ -160,6 +468,10 @@ class CachedEmbeddingPipeline:
             traffic at zero (accounting-only use).
         dma: DMA engine whose counters track fill/write-back bytes; a
             private engine is created when omitted.
+        pending_store: Deferred write-back store implementation — ``"flat"``
+            (default) for the vectorised :class:`FlatPendingStore`,
+            ``"reference"`` for the dict-based
+            :class:`ReferencePendingStore` parity ground truth.
     """
 
     def __init__(
@@ -172,6 +484,7 @@ class CachedEmbeddingPipeline:
         num_replicas: int = 1,
         link: Link | None = None,
         dma: DMAEngine | None = None,
+        pending_store: str = "flat",
     ):
         if window < 0:
             raise ValueError("window must be >= 0")
@@ -195,8 +508,8 @@ class CachedEmbeddingPipeline:
         self._refcounts = [np.zeros(rows, dtype=np.int32) for rows in self.rows_per_table]
         self._entries: deque[_WindowEntry] = deque()
         self._stream: Iterator[list[np.ndarray]] | None = None
-        self._pending: list[dict[int, np.ndarray]] = [{} for _ in range(num_tables)]
-        self._births: list[dict[int, int]] = [{} for _ in range(num_tables)]
+        #: Deferred write-back store (flat arrays by default).
+        self.pending = make_pending_store(pending_store, self.rows_per_table)
         self._step = 0
         #: Epoch-carry write-back charge folded into the next step's stats.
         self._carry_rows = 0
@@ -217,7 +530,7 @@ class CachedEmbeddingPipeline:
     @property
     def pending_rows_total(self) -> int:
         """Deferred (not yet written back) rows across tables."""
-        return sum(len(pending) for pending in self._pending)
+        return self.pending.total_pending
 
     # ------------------------------------------------------------------ #
     # Epoch lifecycle
@@ -235,14 +548,9 @@ class CachedEmbeddingPipeline:
         charged — folded into the *next* step's stats, since the boundary
         itself has no step of its own.
         """
-        carry = self._flush_all()
-        if carry is not None:
-            rows = sum(grad.nnz for grad in carry)
-            self._carry_rows += rows
-            if self.link is not None and rows:
-                self._carry_time_s += self.dma.write_time(
-                    rows * self.row_bytes, scattered=True
-                )
+        carry, rows, time_s = self._priced_flush_all()
+        self._carry_rows += rows
+        self._carry_time_s += time_s
         self._reset_window(stream)
         return carry
 
@@ -253,11 +561,12 @@ class CachedEmbeddingPipeline:
         belong to the previous run's schedule and are *dropped*, not
         carried (mirroring the dense stale-k deque, whose in-flight reduces
         die with their run) — applying them would contaminate the new run
-        with the old run's data.
+        with the old run's data.  The store clears its gradient buffers and
+        birth arrays in one atomic pass, so a reused trainer cannot inherit
+        a stale birth step for a fresh deferral (the PR 5 regression suite
+        pins this alongside the PR 4 ``bind()`` fix).
         """
-        for pending, births in zip(self._pending, self._births, strict=True):
-            pending.clear()
-            births.clear()
+        self.pending.clear()
         self._reset_window(None)
         self._step = 0
         self._carry_rows = 0
@@ -274,10 +583,46 @@ class CachedEmbeddingPipeline:
     def _flush_all(self) -> list[SparseGradient] | None:
         if self.pending_rows_total == 0:
             return None
-        flushed = [
-            self._take_pending(table, sorted(self._pending[table]))
-            for table in range(self.num_tables)
-        ]
+        return [self.pending.take_all(table) for table in range(self.num_tables)]
+
+    def _priced_flush_all(self) -> tuple[list[SparseGradient] | None, int, float]:
+        """Flush every deferred write-back and price its DMA traffic.
+
+        The single pricing point for all three full-flush paths (epoch
+        carry, end-of-run drain, and the stale-0 backlog), so a change to
+        the write-back cost model cannot make their accounting diverge.
+
+        Returns:
+            ``(flushed gradients or None, flushed rows, priced seconds)``.
+        """
+        flushed = self._flush_all()
+        if flushed is None:
+            return None, 0, 0.0
+        rows = sum(grad.nnz for grad in flushed)
+        time_s = 0.0
+        if self.link is not None and rows:
+            time_s = self.dma.write_time(rows * self.row_bytes, scattered=True)
+        return flushed, rows, time_s
+
+    def drain(self) -> list[SparseGradient] | None:
+        """End-of-run flush: everything still deferred writes back *now*.
+
+        The executor ``finalize()`` hook calls this so a run's last
+        in-flight sparse updates are applied before the final evaluation
+        instead of dying with the run (which made a stale-k sweep's final
+        metrics fold a dropped-tail effect into the staleness effect).
+        The write-back is priced like any other flush and reported through
+        :attr:`last_stats`; the window is left untouched — a drained
+        pipeline can keep training, it just holds no deferred gradient.
+
+        Returns:
+            Per-table gradients to apply, or ``None`` if nothing was
+            deferred.
+        """
+        flushed, rows, time_s = self._priced_flush_all()
+        if flushed is None:
+            return None
+        self.last_stats = LookaheadStats(stale_rows=rows, prefetch_time_s=time_s)
         return flushed
 
     # ------------------------------------------------------------------ #
@@ -377,16 +722,12 @@ class CachedEmbeddingPipeline:
         if self.staleness == 0:
             if self.pending_rows_total == 0:
                 return list(merged)
-            backlog = self._flush_all()
-            backlog_rows = sum(grad.nnz for grad in backlog)
-            stats.stale_rows += backlog_rows
             # The backlog writes back like any other flush — price it, so
             # a bound lowered to 0 mid-run does not make the same traffic
             # momentarily free.
-            if self.link is not None and backlog_rows:
-                stats.prefetch_time_s += self.dma.write_time(
-                    backlog_rows * self.row_bytes, scattered=True
-                )
+            backlog, backlog_rows, backlog_time_s = self._priced_flush_all()
+            stats.stale_rows += backlog_rows
+            stats.prefetch_time_s += backlog_time_s
             return [
                 merge_sparse_gradients([carried, grad]) if carried.nnz else grad
                 for carried, grad in zip(backlog, merged, strict=True)
@@ -394,22 +735,18 @@ class CachedEmbeddingPipeline:
         writeback_rows = 0
         flushed: list[SparseGradient] = []
         for table, grad in enumerate(merged):
-            pending = self._pending[table]
-            births = self._births[table]
-            for row, value in zip(grad.indices.tolist(), grad.values, strict=True):
-                if row in pending:
-                    pending[row] = pending[row] + value
-                else:
-                    pending[row] = value.copy()
-                    births[row] = step
+            self.pending.defer(table, grad, step)
             # Flush rule: a deferred row writes back when it leaves the
-            # window or its oldest contribution reaches the bound.
-            evicted_rows = set(evicted[table].tolist()) & pending.keys()
-            aged_rows = {
-                row for row, birth in births.items() if step - birth >= self.staleness
-            }
-            stats.stale_rows += len(aged_rows - evicted_rows)
-            grad_out = self._take_pending(table, sorted(evicted_rows | aged_rows))
+            # window or its oldest contribution reaches the bound.  Both
+            # sets come out of the store as sorted arrays, so the union
+            # (and therefore the flushed gradient's row order) matches the
+            # reference store's sorted-dict walk bit for bit.
+            evicted_pending = evicted[table][
+                self.pending.pending_mask(table, evicted[table])
+            ]
+            aged = self.pending.aged_rows(table, step, self.staleness)
+            stats.stale_rows += int(aged.size - _in_sorted(evicted_pending, aged).sum())
+            grad_out = self.pending.take(table, np.union1d(evicted_pending, aged))
             writeback_rows += grad_out.nnz
             flushed.append(grad_out)
         if self.link is not None and writeback_rows:
@@ -432,15 +769,3 @@ class CachedEmbeddingPipeline:
                 self.cache.clear_rows(table, gone)
             evicted.append(gone)
         return evicted
-
-    def _take_pending(self, table: int, rows: list[int]) -> SparseGradient:
-        """Remove ``rows`` from the pending store as one sparse gradient."""
-        pending = self._pending[table]
-        births = self._births[table]
-        taken = [row for row in rows if row in pending]
-        if not taken:
-            return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 0)))
-        values = np.stack([pending.pop(row) for row in taken], axis=0)
-        for row in taken:
-            births.pop(row, None)
-        return SparseGradient(np.asarray(taken, dtype=np.int64), values)

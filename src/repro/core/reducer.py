@@ -75,7 +75,8 @@ class Reducer:
         """Pool each sample's rows; returns a (batch, dim) matrix."""
         if not rows_per_sample:
             raise ValueError("at least one sample is required")
-        dim = rows_per_sample[0].shape[1] if rows_per_sample[0].ndim == 2 else rows_per_sample[0].shape[0]
+        first = rows_per_sample[0]
+        dim = first.shape[1] if first.ndim == 2 else first.shape[0]
         output = np.zeros((len(rows_per_sample), dim), dtype=np.float64)
         for i, rows in enumerate(rows_per_sample):
             output[i] = self.reduce(np.atleast_2d(rows))

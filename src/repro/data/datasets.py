@@ -91,7 +91,9 @@ class DatasetSpec:
         )
 
 
-def _criteo_like_tables(total_rows: int, num_tables: int, seed_sizes: tuple[int, ...]) -> tuple[int, ...]:
+def _criteo_like_tables(
+    total_rows: int, num_tables: int, seed_sizes: tuple[int, ...]
+) -> tuple[int, ...]:
     """Distribute ``total_rows`` across ``num_tables`` with a realistic spread.
 
     Criteo-style datasets have a few huge tables (tens of millions of rows)

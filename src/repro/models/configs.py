@@ -1,13 +1,15 @@
 """Model configurations from Table II of the paper (plus the synthetic ones).
 
-| Model | Dataset         | Dense | Sparse | Sparse dim | Bottom MLP          | Top MLP        | Extra      | Size   |
-|-------|-----------------|-------|--------|------------|---------------------|----------------|------------|--------|
-| RM1   | Taobao Alibaba  | 1     | 3      | 16         | 1-16                | 30-60-1        | Attention  | 0.3 GB |
-| RM2   | Criteo Kaggle   | 13    | 26     | 16         | 13-512-256-64-16    | 512-256-1      | -          | 2 GB   |
-| RM3   | Criteo Terabyte | 13    | 26     | 64         | 13-512-256-64       | 512-512-256-1  | -          | 63 GB  |
-| RM4   | Avazu           | 1     | 21     | 16         | 1-512-256-64-16     | 512-256-1      | -          | 0.55 GB|
-| SYN-M1| SYN-D1          | 54    | 102    | 64         | 54-512-256-64       | 512-512-256-1  | multi-hot  | 196 GB |
-| SYN-M2| SYN-D2          | 102   | 204    | 64         | 102-512-256-64      | 512-512-256-1  | multi-hot  | 390 GB |
+| Model | Dataset         | Dns | Sps | Dim | Bottom MLP       | Top MLP       | Extra | Size   |
+|-------|-----------------|-----|-----|-----|------------------|---------------|-------|--------|
+| RM1   | Taobao Alibaba  | 1   | 3   | 16  | 1-16             | 30-60-1       | attn  | 0.3 GB |
+| RM2   | Criteo Kaggle   | 13  | 26  | 16  | 13-512-256-64-16 | 512-256-1     | -     | 2 GB   |
+| RM3   | Criteo Terabyte | 13  | 26  | 64  | 13-512-256-64    | 512-512-256-1 | -     | 63 GB  |
+| RM4   | Avazu           | 1   | 21  | 16  | 1-512-256-64-16  | 512-256-1     | -     | 0.55 GB|
+| SYN-M1| SYN-D1          | 54  | 102 | 64  | 54-512-256-64    | 512-512-256-1 | multi | 196 GB |
+| SYN-M2| SYN-D2          | 102 | 204 | 64  | 102-512-256-64   | 512-512-256-1 | multi | 390 GB |
+
+(Dns/Sps = dense/sparse feature counts; attn = attention; multi = multi-hot.)
 
 RM1 is trained with TBSM (time-series length 21), the others with DLRM.
 """
@@ -106,7 +108,9 @@ class ModelConfig:
         """Bytes of embeddings gathered for one training sample."""
         return self.dataset.lookups_per_sample() * self.bytes_per_lookup()
 
-    def scaled(self, max_rows_per_table: int = 20_000, samples_per_epoch: int | None = None) -> ModelConfig:
+    def scaled(
+        self, max_rows_per_table: int = 20_000, samples_per_epoch: int | None = None
+    ) -> ModelConfig:
         """A functionally-trainable copy with capped embedding-table sizes."""
         return replace(
             self,

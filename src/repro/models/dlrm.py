@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.data.batch import MiniBatch
 from repro.models.configs import ModelConfig
-from repro.nn.embedding import EmbeddingBag, SparseGradient
+from repro.nn.embedding import EmbeddingBag, SparseGradient, segment_ids_for
 from repro.nn.interaction import (
     dot_interaction,
     dot_interaction_backward,
@@ -121,6 +121,91 @@ class DLRM:
             grad_logits = grad_logits / normalizer
         sparse_grads = self.backward(grad_logits)
         return loss, sparse_grads
+
+    def fused_loss_and_gradients(
+        self,
+        batch: MiniBatch,
+        segments: list[np.ndarray],
+        normalizer: float | None = None,
+        after_segment=None,
+    ) -> tuple[list[float], list[list[SparseGradient]]]:
+        """Train a mini-batch's µ-batches with fused embedding traffic.
+
+        Per table, the **whole mini-batch's contiguous index block** is
+        gathered once (no per-µ-batch index copies), each µ-batch's MLP and
+        interaction pass runs on views/selections of the pooled output, and
+        every µ-batch's sparse gradient comes out of **one**
+        :meth:`~repro.nn.embedding.EmbeddingBag.backward_segments` scatter.
+        Dense gradients accumulate in the layers exactly as sequential
+        :meth:`loss_and_gradients` calls over ``batch.select(segments[s])``
+        would — every returned value is bit-identical to the sequential
+        path.
+
+        Args:
+            batch: The full mini-batch.
+            segments: Non-empty ascending index arrays partitioning the
+                batch, in accumulation order (Hotline passes the popular
+                then the non-popular sample indices).
+            normalizer: Divisor applied to the gradients (typically the full
+                mini-batch size; see :meth:`loss_and_gradients`).
+            after_segment: Optional ``callback(segment_index, loss)`` fired
+                right after each segment's backward pass — the point where a
+                caller needing *per-segment* dense gradients (the sharded
+                trainer's per-µ-batch partials) can snapshot the layers and
+                ``zero_grad`` before the next segment runs.
+
+        Returns:
+            ``(losses, sparse_grads)`` — per-segment losses and per-table
+            lists of per-segment sparse gradients (``sparse_grads[t][s]``).
+        """
+        num_tables = len(self.tables)
+        if batch.num_tables != num_tables:
+            raise ValueError("batch sparse-feature count does not match the model")
+        segments = [np.asarray(idx, dtype=np.int64) for idx in segments]
+        if not segments:
+            return [], [[] for _ in range(num_tables)]
+        if any(idx.size == 0 for idx in segments):
+            raise ValueError("fused segments must be non-empty")
+        if normalizer is not None and normalizer <= 0:
+            raise ValueError("normalizer must be positive")
+        segment_ids = segment_ids_for(segments, batch.size)
+        pooled = [
+            table.forward(batch.sparse[:, t, :]) for t, table in enumerate(self.tables)
+        ]
+        losses: list[float] = []
+        grad_pooled: list[list[np.ndarray]] = [[] for _ in range(num_tables)]
+        for s, idx in enumerate(segments):
+            dense_out = self.bottom_mlp.forward(batch.dense[idx])
+            interaction, cache = dot_interaction(
+                dense_out, [pooled[t][idx] for t in range(num_tables)]
+            )
+            logits = self.top_mlp.forward(interaction).reshape(-1)
+            labels = batch.labels[idx]
+            loss = float(bce_with_logits(logits, labels, reduction="sum"))
+            grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
+            if normalizer is not None:
+                grad_logits = grad_logits / normalizer
+            grad_interaction = self.top_mlp.backward(grad_logits.reshape(-1, 1))
+            grad_dense, grad_sparse = dot_interaction_backward(grad_interaction, cache)
+            self.bottom_mlp.backward(grad_dense)
+            for t in range(num_tables):
+                grad_pooled[t].append(grad_sparse[t])
+            losses.append(loss)
+            if after_segment is not None:
+                after_segment(s, loss)
+        # The flat (per-lookup) segment ids are table-independent — build
+        # them once and share them across every table's scatter.
+        pooling = batch.pooling
+        flat_segment_ids = (
+            segment_ids if pooling == 1 else np.repeat(segment_ids, pooling)
+        )
+        sparse_grads = [
+            table.backward_segments(
+                grad_pooled[t], segments, segment_ids, flat_segment_ids
+            )
+            for t, table in enumerate(self.tables)
+        ]
+        return losses, sparse_grads
 
     def predict(self, batch: MiniBatch) -> np.ndarray:
         """Predicted click probabilities for a batch."""

@@ -20,7 +20,12 @@ import numpy as np
 from repro.data.batch import MiniBatch
 from repro.models.configs import ModelConfig
 from repro.nn.attention import DotProductAttention
-from repro.nn.embedding import EmbeddingBag, SparseGradient
+from repro.nn.embedding import (
+    EmbeddingBag,
+    SparseGradient,
+    segment_ids_for,
+    segmented_scatter,
+)
 from repro.nn.loss import bce_with_logits, bce_with_logits_backward, predicted_probabilities
 from repro.nn.mlp import MLP
 
@@ -132,6 +137,104 @@ class TBSM:
             grad_logits = grad_logits / normalizer
         sparse_grads = self.backward(grad_logits)
         return loss, sparse_grads
+
+    def fused_loss_and_gradients(
+        self,
+        batch: MiniBatch,
+        segments: list[np.ndarray],
+        normalizer: float | None = None,
+        after_segment=None,
+    ) -> tuple[list[float], list[list[SparseGradient]]]:
+        """Train a mini-batch's µ-batches with fused embedding traffic.
+
+        The history table's sequence gather and every pooled table's lookup
+        run **once** over the whole mini-batch's contiguous blocks; the
+        attention/MLP passes run per µ-batch on selections of those
+        outputs, and each table's per-µ-batch sparse gradients come out of
+        one :func:`~repro.nn.embedding.segmented_scatter` — everything
+        returned is bit-identical to sequential :meth:`loss_and_gradients`
+        calls.  See :meth:`repro.models.dlrm.DLRM.fused_loss_and_gradients`
+        for the argument contract (``after_segment`` fires after each
+        segment's backward pass; returns per-segment losses and
+        ``sparse_grads[t][s]``).
+        """
+        num_tables = len(self.tables)
+        if batch.num_tables != num_tables:
+            raise ValueError("batch sparse-feature count does not match the model")
+        segments = [np.asarray(idx, dtype=np.int64) for idx in segments]
+        if not segments:
+            return [], [[] for _ in range(num_tables)]
+        if any(idx.size == 0 for idx in segments):
+            raise ValueError("fused segments must be non-empty")
+        if normalizer is not None and normalizer <= 0:
+            raise ValueError("normalizer must be positive")
+        dim = self.config.embedding_dim
+        # History sequences: one raw gather over the whole batch's lookups.
+        history_block = batch.sparse[:, 0, :]
+        steps = history_block.shape[1]
+        sequence_all = self.tables[0].weight[history_block]
+        segment_ids = segment_ids_for(segments, batch.size)
+        pooled = {
+            t: self.tables[t].forward(batch.sparse[:, t, :])
+            for t in range(1, num_tables)
+        }
+        losses: list[float] = []
+        #: Allocated at the first segment's backward so the buffer matches
+        #: the gradient dtype (float32 models stay float32 end-to-end).
+        history_grad_all: np.ndarray | None = None
+        grad_pooled: dict[int, list[np.ndarray]] = {t: [] for t in range(1, num_tables)}
+        for s, idx in enumerate(segments):
+            dense_out = self.bottom_mlp.forward(batch.dense[idx])
+            context = self.attention.forward(dense_out, sequence_all[idx])
+            other_outputs = [pooled[t][idx] for t in range(1, num_tables)]
+            features = np.concatenate([context, dense_out] + other_outputs, axis=1)
+            logits = self.top_mlp.forward(features).reshape(-1)
+            labels = batch.labels[idx]
+            loss = float(bce_with_logits(logits, labels, reduction="sum"))
+            grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
+            if normalizer is not None:
+                grad_logits = grad_logits / normalizer
+            grad_features = self.top_mlp.backward(grad_logits.reshape(-1, 1))
+            grad_context = grad_features[:, :dim]
+            grad_dense_direct = grad_features[:, dim : 2 * dim]
+            grad_other = grad_features[:, 2 * dim :]
+            grad_query, grad_sequence = self.attention.backward(grad_context)
+            self.bottom_mlp.backward(grad_query + grad_dense_direct)
+            if history_grad_all is None:
+                history_grad_all = np.empty(
+                    (batch.size, steps, dim), dtype=grad_sequence.dtype
+                )
+            history_grad_all[idx] = grad_sequence
+            offset = 0
+            for t in range(1, num_tables):
+                grad_pooled[t].append(grad_other[:, offset : offset + dim])
+                offset += dim
+            losses.append(loss)
+            if after_segment is not None:
+                after_segment(s, loss)
+        # One scatter per table: the history table's per-step gradients go
+        # through the segmented scatter directly (no pooling repeat); the
+        # flat segment ids are table-independent and shared.
+        flat_segment_ids = (
+            segment_ids if steps == 1 else np.repeat(segment_ids, steps)
+        )
+        sparse_grads: list[list[SparseGradient]] = [
+            segmented_scatter(
+                history_block.reshape(-1),
+                history_grad_all.reshape(-1, dim),
+                flat_segment_ids,
+                len(segments),
+                self.tables[0].num_rows,
+                dim,
+            )
+        ]
+        for t in range(1, num_tables):
+            sparse_grads.append(
+                self.tables[t].backward_segments(
+                    grad_pooled[t], segments, segment_ids, flat_segment_ids
+                )
+            )
+        return losses, sparse_grads
 
     def predict(self, batch: MiniBatch) -> np.ndarray:
         """Predicted click probabilities for a batch."""

@@ -13,6 +13,21 @@ way HugeCTR and CacheEmbedding flatten multi-hot lookups into one
 gather + segment-sum.  The loop-based originals are retained as
 ``reference_forward`` / ``reference_backward`` so the test-suite can assert
 bit-for-bit parity and the benchmarks can measure the speedup.
+
+**Fused µ-batch execution.**  Hotline trains every mini-batch as two
+µ-batches (popular / non-popular), which naively costs two gathers and two
+scatters per table per step — each over a fancy-indexed *copy* of the
+batch's index block.  The fused path never materialises those copies: the
+forward gathers the **original contiguous block once** (each sample's
+pooled vector is independent, so per-µ-batch views of the output are
+bit-identical to per-µ-batch gathers), and
+:meth:`EmbeddingBag.backward_segments` / :func:`segmented_scatter` produce
+every µ-batch's sparse gradient with **one** scatter: each lookup's row id
+is keyed into its segment's private id space (``segment * num_rows +
+row``), so the combined ``np.unique`` + ``np.add.at`` accumulates per-row
+contributions in exactly the per-segment order the unfused scatter uses,
+and the split results are bit-identical to calling
+:meth:`EmbeddingBag.backward` once per µ-batch.
 """
 
 from __future__ import annotations
@@ -92,6 +107,71 @@ def merge_sparse_gradients(grads: list[SparseGradient]) -> SparseGradient:
     return SparseGradient(unique, merged)
 
 
+def segment_ids_for(segments: list[np.ndarray], batch: int) -> np.ndarray:
+    """Per-sample segment ids of a partition of ``range(batch)``.
+
+    ``segments[s]`` must be an ascending index array; together the segments
+    must cover every sample exactly once (the popular/non-popular µ-batches
+    of one mini-batch partition it by construction, Eq. 3).  Raises when
+    they do not, since a silent gap would scatter garbage gradient.
+    """
+    seg_ids = np.full(batch, -1, dtype=np.int64)
+    total = 0
+    for s, idx in enumerate(segments):
+        seg_ids[idx] = s
+        total += len(idx)
+    if total != batch or (seg_ids < 0).any():
+        raise ValueError("segments must partition the batch exactly")
+    return seg_ids
+
+
+def segmented_scatter(
+    flat_indices: np.ndarray,
+    flat_grads: np.ndarray,
+    flat_segment_ids: np.ndarray,
+    num_segments: int,
+    num_rows: int,
+    dim: int,
+) -> list[SparseGradient]:
+    """One scatter producing every segment's sparse gradient of one table.
+
+    ``flat_indices``/``flat_grads``/``flat_segment_ids`` are the table's
+    per-lookup row ids, gradient rows, and µ-batch (segment) ids, all in
+    the **original batch order** — no per-segment copies are ever built.
+    Each lookup is keyed into its segment's private id space (``segment *
+    num_rows + row``) so a single ``np.unique`` + ``np.add.at`` pass
+    accumulates every (segment, row) bucket separately; within a bucket,
+    contributions arrive in batch order restricted to that segment's
+    samples — exactly the order the unfused per-µ-batch scatter uses
+    (segment index arrays are ascending), so the split results are
+    **bit-identical** to running :meth:`EmbeddingBag.backward` once per
+    µ-batch.  The private id spaces are disjoint and sorted, so each
+    segment's block is recovered with one binary search (views, no copy).
+
+    Returns:
+        One :class:`SparseGradient` per segment (sorted unique row ids).
+    """
+    if flat_indices.size == 0:
+        return [
+            SparseGradient(
+                np.empty(0, dtype=np.int64), np.empty((0, dim), dtype=flat_grads.dtype)
+            )
+            for _ in range(num_segments)
+        ]
+    keys = flat_segment_ids * num_rows + flat_indices
+    unique, inverse = np.unique(keys, return_inverse=True)
+    values = np.zeros((unique.shape[0], dim), dtype=flat_grads.dtype)
+    np.add.at(values, inverse, flat_grads)
+    bounds = np.searchsorted(unique, np.arange(num_segments + 1) * num_rows)
+    return [
+        SparseGradient(
+            unique[bounds[s] : bounds[s + 1]] - s * num_rows,
+            values[bounds[s] : bounds[s + 1]],
+        )
+        for s in range(num_segments)
+    ]
+
+
 class EmbeddingBag:
     """One embedding table with sum pooling over multi-hot lookups."""
 
@@ -153,6 +233,55 @@ class EmbeddingBag:
         values = np.zeros((unique.shape[0], self.dim), dtype=grad_output.dtype)
         np.add.at(values, inverse, flat_grads)
         return SparseGradient(unique, values)
+
+    def backward_segments(
+        self,
+        grad_outputs: list[np.ndarray],
+        segments: list[np.ndarray],
+        segment_ids: np.ndarray | None = None,
+        flat_segment_ids: np.ndarray | None = None,
+    ) -> list[SparseGradient]:
+        """Per-µ-batch sparse gradients of the last *full-batch* forward.
+
+        The fused execution path runs :meth:`forward` once on the whole
+        mini-batch's contiguous index block and trains the µ-batches on
+        views of the pooled output; this is the matching backward:
+        ``grad_outputs[s]`` holds the pooled-output gradient of the samples
+        ``segments[s]`` (ascending index arrays partitioning the forward's
+        batch), and one :func:`segmented_scatter` produces each µ-batch's
+        gradient bit-identically to a per-µ-batch :meth:`backward` — so
+        callers keep merging per-µ-batch partials in their established
+        order.  ``segment_ids`` (per-sample segment) and
+        ``flat_segment_ids`` (repeated over the pooling width) can be
+        passed when precomputed once for many tables, keeping the per-table
+        work to one assembly, one scatter, and one split.
+        """
+        if self._last_indices is None:
+            raise RuntimeError("backward called before forward")
+        batch, pooling = self._last_indices.shape
+        if len(grad_outputs) != len(segments):
+            raise ValueError("one gradient block per segment is required")
+        if segment_ids is None:
+            segment_ids = segment_ids_for(segments, batch)
+        if flat_segment_ids is None:
+            flat_segment_ids = (
+                segment_ids if pooling == 1 else np.repeat(segment_ids, pooling)
+            )
+        dtype = grad_outputs[0].dtype if grad_outputs else np.float64
+        grad_all = np.empty((batch, self.dim), dtype=dtype)
+        for idx, grad_output in zip(segments, grad_outputs, strict=True):
+            if grad_output.shape[0] != len(idx):
+                raise ValueError("gradient block does not match its segment")
+            grad_all[idx] = grad_output
+        flat_grads = grad_all if pooling == 1 else np.repeat(grad_all, pooling, axis=0)
+        return segmented_scatter(
+            self._last_indices.reshape(-1),
+            flat_grads,
+            flat_segment_ids,
+            len(segments),
+            self.num_rows,
+            self.dim,
+        )
 
     def apply_sparse_update(self, grad: SparseGradient, lr: float) -> None:
         """SGD update of only the rows present in ``grad``."""

@@ -251,7 +251,9 @@ class TrainingCostModel:
             return launch + alltoall_time(
                 per_device_bytes, self.num_gpus, self.cluster.node.gpu_link
             )
-        intra = alltoall_time(per_device_bytes, self.cluster.node.num_gpus, self.cluster.node.gpu_link)
+        intra = alltoall_time(
+            per_device_bytes, self.cluster.node.num_gpus, self.cluster.node.gpu_link
+        )
         # Cross-node traffic from all of a node's GPUs funnels through the
         # node's single InfiniBand NIC, which is what makes the collective
         # exceed 50 % of multi-node training time (Figure 5).

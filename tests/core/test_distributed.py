@@ -373,17 +373,24 @@ def test_rebinding_a_trainer_drops_the_previous_runs_inflight_state(
         mode="stale-4", lookahead_window=3,
     )
     loader = MiniBatchLoader(tiny_click_log, batch_size=128)
-    first = trainer.train(loader, epochs=1)
+    # An abandoned raw-step run (no engine, so no finalize() drain) leaves
+    # its last k reduces and deferred write-backs in flight.
+    trainer.bind(loader)
+    batches = list(loader)
+    for batch in batches[:6]:
+        trainer.train_step(batch)
     assert len(trainer._pending_dense) == 4  # in-flight reduces of run A
     # Re-binding (what a second train() does first) drops them...
     trainer.bind(loader)
     assert len(trainer._pending_dense) == 0
     assert trainer.lookahead.pending_rows_total == 0
     assert trainer.lookahead.cached_rows_total == 0
-    # ...and a full second run works and never sees run A's backlog: its
-    # first k steps apply no dense update at all, exactly like a fresh run.
-    second = trainer.train(loader, epochs=1)
-    assert len(second.losses) == len(first.losses)
+    # ...and a full run after the re-bind works, never sees run A's
+    # backlog, and ends drained (the engine's finalize() hook).
+    result = trainer.train(loader, epochs=1)
+    assert len(result.losses) == len(batches)
+    assert len(trainer._pending_dense) == 0  # drained by finalize()
+    assert trainer.lookahead.pending_rows_total == 0
     assert trainer.replica_drift() == 0.0
 
 
@@ -416,3 +423,86 @@ def test_lookahead_replaces_partitioned_lookup_alltoall(
     )
     assert outcome.communication_time_s == pytest.approx(expected)
     assert outcome.prefetch_time_s > 0.0
+
+
+# --------------------------------------------------------------------- #
+# finalize(): the end-of-run staleness drain (PR 5)
+# --------------------------------------------------------------------- #
+def finalize_run(config, log, *, mode, steps, lookahead_window=0):
+    from dataclasses import replace
+
+    trainer = ShardedHotlineTrainer(
+        DLRM(config, seed=23), 2, sample_fraction=0.25,
+        mode=mode, lookahead_window=lookahead_window,
+    )
+    # A log view of exactly `steps` batches, so runs shorter than the
+    # staleness bound are expressible.
+    size = steps * 128
+    short = replace(
+        log, dense=log.dense[:size], sparse=log.sparse[:size], labels=log.labels[:size]
+    )
+    result = trainer.train(MiniBatchLoader(short, batch_size=128), epochs=1)
+    return trainer, result
+
+
+def test_finalize_drains_short_runs_to_sync_equivalence(
+    tiny_model_config, tiny_click_log
+):
+    """Regression: a 1-step stale-4 run used to apply *no* dense update at
+    all (the reduce died in the deque), so k-sweeps compared models trained
+    on different gradient counts.  With finalize() the drained 1-step run
+    is bit-identical to the 1-step sync run — like with like."""
+    trainer_sync, _ = finalize_run(tiny_model_config, tiny_click_log, mode="sync", steps=1)
+    for k in (1, 2, 4):
+        trainer_stale, _ = finalize_run(
+            tiny_model_config, tiny_click_log, mode=f"stale-{k}", steps=1
+        )
+        assert len(trainer_stale._pending_dense) == 0
+        for key, value in trainer_sync.model.state_snapshot().items():
+            np.testing.assert_array_equal(
+                trainer_stale.model.state_snapshot()[key], value, err_msg=key
+            )
+
+
+def test_finalize_drains_lookahead_backlog_and_reports_it(
+    tiny_model_config, tiny_click_log
+):
+    """A run abandoned mid-epoch leaves rows deferred in the window (a
+    completed epoch evicts everything, so this is the raw-step case);
+    finalize() must flush and apply them, reporting the write-back."""
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=23), 2, sample_fraction=0.25,
+        mode="stale-4", lookahead_window=8,
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    trainer.bind(loader)
+    for batch in list(loader)[:3]:  # 3 of the epoch's batches: window still full
+        trainer.train_step(batch)
+    assert trainer.lookahead.pending_rows_total > 0
+    assert len(trainer._pending_dense) == 3  # all 3 reduces still in flight
+    outcome = trainer.finalize()
+    assert outcome is not None
+    assert outcome.stale_rows > 0
+    assert outcome.prefetch_time_s >= 0.0
+    assert trainer.lookahead.pending_rows_total == 0
+    assert len(trainer._pending_dense) == 0
+    assert trainer.replica_drift() == 0.0
+    # Nothing left in flight: a second finalize is a no-op.
+    assert trainer.finalize() is None
+
+
+def test_engine_run_ends_with_nothing_deferred(tiny_model_config, tiny_click_log):
+    """Through the engine, a stale-k + lookahead run ends fully applied:
+    epoch-end evictions flush the sparse side and finalize() drains the
+    dense deque, so the final evaluation sees every computed gradient."""
+    trainer, _ = finalize_run(
+        tiny_model_config, tiny_click_log, mode="stale-4", steps=4, lookahead_window=4
+    )
+    assert len(trainer._pending_dense) == 0
+    assert trainer.lookahead.pending_rows_total == 0
+    assert trainer.replica_drift() == 0.0
+
+
+def test_finalize_is_noop_for_sync_runs(tiny_model_config, tiny_click_log):
+    trainer, _ = finalize_run(tiny_model_config, tiny_click_log, mode="sync", steps=3)
+    assert trainer.finalize() is None

@@ -161,3 +161,44 @@ def test_baseline_outcomes_report_no_buckets(tiny_model_config, tiny_click_log):
     trainer = ReferenceTrainer(DLRM(tiny_model_config, seed=0))
     result = trainer.train(MiniBatchLoader(tiny_click_log, batch_size=128), epochs=1)
     assert result.bucket_comm_s == []
+
+
+# --------------------------------------------------------------------- #
+# finalize(): the end-of-run drain hook
+# --------------------------------------------------------------------- #
+class DrainingExecutor(RecordingExecutor):
+    """Executor with one simulated in-flight gradient to drain."""
+
+    def __init__(self, model):
+        super().__init__(model)
+        self.finalized = 0
+
+    def finalize(self):
+        self.finalized += 1
+        return StepOutcome(
+            loss=0.0, communication_time_s=0.5, stale_rows=7, prefetch_time_s=0.5
+        )
+
+
+def test_engine_calls_finalize_before_final_eval(tiny_model_config, tiny_click_log):
+    executor = DrainingExecutor(DLRM(tiny_model_config, seed=0))
+    loader = MiniBatchLoader(tiny_click_log, batch_size=512)
+    result = TrainingEngine(executor).train(
+        loader, epochs=1, eval_batch=tiny_click_log.batch(0, 128)
+    )
+    assert executor.finalized == 1
+    # The drain's traffic is folded into the run's totals (no loss entry).
+    steps = len(result.losses)
+    assert result.stale_rows == 7
+    assert result.communication_time_s == pytest.approx(0.75 * steps + 0.5)
+    assert result.prefetch_time_s == pytest.approx(0.5)
+    assert result.simulated_time_s == pytest.approx(1.0 * steps + 0.5)
+
+
+def test_default_finalize_is_a_noop(tiny_model_config, tiny_click_log):
+    executor = RecordingExecutor(DLRM(tiny_model_config, seed=0))
+    assert executor.finalize() is None
+    result = TrainingEngine(executor).train(
+        MiniBatchLoader(tiny_click_log, batch_size=512), epochs=1
+    )
+    assert result.stale_rows == 0
