@@ -18,12 +18,30 @@ BENCH_JSON_DEFAULT = os.path.join(
 )
 
 
-def record_bench(op: str, *, config: str, seconds: float, speedup: float | None = None) -> None:
+def record_bench(
+    op: str,
+    *,
+    config: str,
+    seconds: float,
+    speedup: float | None = None,
+    gate: float | None = None,
+    enforced: bool | None = None,
+) -> None:
     """Append one benchmark observation to ``BENCH_sparse_path.json``.
 
-    Each entry is ``{"op", "config", "seconds", "speedup"}``; re-running a
-    benchmark replaces its previous entry (the file accumulates one row per
-    op, not per run), so the artifact is a snapshot of the latest run.
+    Each entry is ``{"op", "config", "seconds", "speedup", "gate",
+    "enforced"}``; re-running a benchmark replaces its previous entry (the
+    file accumulates one row per op, not per run), so the artifact is a
+    snapshot of the latest run.
+
+    ``gate`` is the minimum speedup the benchmark claims to enforce and
+    ``enforced`` records whether its wall-clock assertion actually ran in
+    this process (benchmarks skip the assertion off quiet hardware —
+    ``BENCH_STRICT`` unset, or too few cores for a parallel measurement).
+    Recording both keeps the artifact honest: ``benchmarks/
+    check_bench_gates.py`` fails CI when an entry *measured* a speedup
+    below its gate while the in-test assertion was skipped, so a silent
+    skip can never masquerade as a pass.
     """
     path = os.environ.get("BENCH_JSON", BENCH_JSON_DEFAULT)
     entries = []
@@ -34,14 +52,16 @@ def record_bench(op: str, *, config: str, seconds: float, speedup: float | None 
         except (json.JSONDecodeError, OSError):
             entries = []
     entries = [entry for entry in entries if entry.get("op") != op]
-    entries.append(
-        {
-            "op": op,
-            "config": config,
-            "seconds": round(float(seconds), 6),
-            "speedup": None if speedup is None else round(float(speedup), 3),
-        }
-    )
+    entry = {
+        "op": op,
+        "config": config,
+        "seconds": round(float(seconds), 6),
+        "speedup": None if speedup is None else round(float(speedup), 3),
+    }
+    if gate is not None:
+        entry["gate"] = round(float(gate), 3)
+        entry["enforced"] = bool(enforced)
+    entries.append(entry)
     with open(path, "w") as handle:
         json.dump(entries, handle, indent=2)
         handle.write("\n")

@@ -33,7 +33,11 @@ from repro.models import RM2
 from repro.models.dlrm import DLRM
 
 #: The fused path must not regress the Figure 18 step time beyond noise.
-MAX_SLOWDOWN = 1.05
+#: Ratcheted 1.05 -> 1.04 once interleaved timing alternated the A/B order
+#: per round (killing the warm-cache bias that inflated the bound); the
+#: recorded trajectory sits at ~0.97-1.00x, so the next ratchet step waits
+#: on a sparse-path win, not on tighter measurement.
+MAX_SLOWDOWN = 1.04
 
 
 def make_trainer(config, log, fused):
@@ -66,18 +70,23 @@ def test_fused_step_matches_and_does_not_regress(benchmark):
 
     # Interleaved per-step best-of timing: the minimum of each individual
     # step across rounds filters background-noise spikes far better than
-    # whole-epoch minima.
-    rounds = 7
+    # whole-epoch minima.  The A/B order flips every round so neither
+    # contender systematically inherits the other's warm caches.
+    rounds = 8
     fused_steps = np.full(len(batches), np.inf)
     sequential_steps = np.full(len(batches), np.inf)
-    for _ in range(rounds):
+    for round_index in range(rounds):
         for i, batch in enumerate(batches):
-            start = time.perf_counter()
-            fused.train_step(batch)
-            fused_steps[i] = min(fused_steps[i], time.perf_counter() - start)
-            start = time.perf_counter()
-            sequential.train_step(batch)
-            sequential_steps[i] = min(sequential_steps[i], time.perf_counter() - start)
+            contenders = [
+                (fused, fused_steps),
+                (sequential, sequential_steps),
+            ]
+            if round_index % 2:
+                contenders.reverse()
+            for trainer, steps in contenders:
+                start = time.perf_counter()
+                trainer.train_step(batch)
+                steps[i] = min(steps[i], time.perf_counter() - start)
     best_fused = float(fused_steps.sum())
     best_sequential = float(sequential_steps.sum())
     benchmark.pedantic(
@@ -89,11 +98,14 @@ def test_fused_step_matches_and_does_not_regress(benchmark):
         f"{best_sequential * 1e3:.1f} ms, fused {best_fused * 1e3:.1f} ms, "
         f"speedup {speedup:.3f}x (bit-identical losses)"
     )
+    strict = bool(os.environ.get("BENCH_STRICT"))
     record_bench(
         "fused_microbatch_step_fig18",
         config="RM2.scaled(1200) batch=256, 26 tables, fused vs sequential epoch",
         seconds=best_fused / len(batches),
         speedup=speedup,
+        gate=1.0 / MAX_SLOWDOWN,
+        enforced=strict,
     )
-    if os.environ.get("BENCH_STRICT"):
+    if strict:
         assert best_fused <= best_sequential * MAX_SLOWDOWN

@@ -1,0 +1,128 @@
+"""Parallel per-replica stepping on the fig30 config: parity + step time.
+
+The K-shard Hotline trainer's step loop runs one forward/backward per
+replica; those passes are independent until the bucketed reduce, and the
+numpy GEMMs inside them release the GIL, so PR 6 fans them out on a shared
+thread pool (``parallel_workers``).  Determinism is preserved by
+construction — partial gradients are collected per replica *index* and the
+loss fold, reducer, and sparse exchange all run on the caller thread in
+replica order — so the parallel schedule is **bit-identical** to the
+sequential one.  That identity is asserted here end-to-end (losses, every
+parameter, zero replica drift) and in ``tests/core/test_replica_parity.py``.
+
+The wall-clock claim (>= 1.3x with 4 workers on a K=4 fig30-style step) is
+only measurable with real cores underneath the pool: on a single-CPU
+container the threads just time-slice.  The parity assertions always run;
+the speedup gate is enforced only under ``BENCH_STRICT`` with at least 4
+visible cores, and the recorded artifact says whether it was (``gate`` /
+``enforced``), so a skipped gate can never pass for a measured one —
+``benchmarks/check_bench_gates.py`` audits exactly that.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.figutils import record_bench
+from repro.core.distributed import ShardedHotlineTrainer
+from repro.data import MiniBatchLoader, generate_click_log
+from repro.models import RM2
+from repro.models.dlrm import DLRM
+
+#: 4 workers over 4 replica steps must win at least this factor on
+#: >= 4 real cores (the fig30 testbed shape).
+MIN_SPEEDUP = 1.3
+NUM_SHARDS = 4
+WORKERS = 4
+
+
+def make_trainer(config, log, workers):
+    trainer = ShardedHotlineTrainer(
+        DLRM(config, seed=13),
+        NUM_SHARDS,
+        lr=0.3,
+        sample_fraction=0.25,
+        parallel_workers=workers,
+    )
+    trainer.bind(MiniBatchLoader(log, batch_size=512))
+    return trainer
+
+
+def test_parallel_replica_step_matches_and_speeds_up(benchmark):
+    config = RM2.scaled(max_rows_per_table=1200, samples_per_epoch=4096)
+    log = generate_click_log(config.dataset, 4096, seed=47)
+    batches = list(MiniBatchLoader(log, batch_size=512))
+
+    sequential = make_trainer(config, log, workers=1)
+    parallel = make_trainer(config, log, workers=WORKERS)
+
+    # Bit-identity first (one full epoch): losses, drift, every parameter of
+    # every replica, and the per-replica wall times are surfaced.
+    sequential_losses = [sequential.train_step(batch)[0] for batch in batches]
+    parallel_losses = [parallel.train_step(batch)[0] for batch in batches]
+    assert parallel_losses == sequential_losses
+    assert parallel.replica_drift() == 0.0
+    assert len(parallel.last_replica_times) == NUM_SHARDS
+    assert all(t > 0.0 for t in parallel.last_replica_times)
+    for replica_s, replica_p in zip(
+        sequential.replicas, parallel.replicas, strict=True
+    ):
+        state_s = replica_s.model.state_snapshot()
+        for key, value in replica_p.model.state_snapshot().items():
+            np.testing.assert_array_equal(state_s[key], value, err_msg=key)
+
+    # Interleaved per-step best-of timing, A/B order flipped every round.
+    rounds = 6
+    sequential_steps = np.full(len(batches), np.inf)
+    parallel_steps = np.full(len(batches), np.inf)
+    for round_index in range(rounds):
+        for i, batch in enumerate(batches):
+            contenders = [
+                (sequential, sequential_steps),
+                (parallel, parallel_steps),
+            ]
+            if round_index % 2:
+                contenders.reverse()
+            for trainer, steps in contenders:
+                start = time.perf_counter()
+                trainer.train_step(batch)
+                steps[i] = min(steps[i], time.perf_counter() - start)
+    best_sequential = float(sequential_steps.sum())
+    best_parallel = float(parallel_steps.sum())
+    benchmark.pedantic(
+        lambda: [parallel.train_step(batch) for batch in batches],
+        rounds=1,
+        iterations=1,
+    )
+    sequential.finalize()
+    parallel.finalize()
+    speedup = best_sequential / best_parallel
+    cores = os.cpu_count() or 1
+    enforce = bool(os.environ.get("BENCH_STRICT")) and cores >= WORKERS
+    print(
+        f"\nfig30-style K={NUM_SHARDS} epoch ({len(batches)} steps, {cores} "
+        f"cores): sequential {best_sequential * 1e3:.1f} ms, "
+        f"{WORKERS}-worker {best_parallel * 1e3:.1f} ms, speedup "
+        f"{speedup:.3f}x (bit-identical losses; gate "
+        f"{'enforced' if enforce else 'recorded only'})"
+    )
+    # The gate is only *claimed* where it is measurable: with fewer cores
+    # than workers the threads just time-slice and the measured ratio says
+    # nothing about the parallel win, so recording the gate there would
+    # trip the checker on an unmeasurable claim.  The core count is in the
+    # config string either way.
+    measurable = cores >= WORKERS
+    record_bench(
+        "replica_parallel_step_fig30",
+        config=(
+            f"RM2.scaled(1200) batch=512, K={NUM_SHARDS} replicas, "
+            f"parallel_workers={WORKERS} vs 1, {cores} cores"
+        ),
+        seconds=best_parallel / len(batches),
+        speedup=speedup,
+        gate=MIN_SPEEDUP if measurable else None,
+        enforced=enforce,
+    )
+    if enforce:
+        assert speedup >= MIN_SPEEDUP

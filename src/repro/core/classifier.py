@@ -107,6 +107,7 @@ def split_minibatch(
     hot_sets: list[np.ndarray] | HotSetIndex,
     *,
     materialize: bool = True,
+    mask: np.ndarray | None = None,
 ) -> MicroBatches:
     """Fragment ``batch`` into popular / non-popular µ-batches.
 
@@ -121,6 +122,14 @@ def split_minibatch(
             fused execution path passes ``False`` — it trains through the
             original batch and the classification mask, so the copies are
             only built if something actually reads them.
+        mask: Precomputed popular-input mask for ``batch``.  The prefetch
+            overlap path classifies batch N+1 on the loader thread while
+            batch N's optimizer update runs, then passes the mask here to
+            skip the bitmap pass entirely; ``classify`` is pure, so a valid
+            precomputed mask is bit-identical to computing it in place.
+            The caller is responsible for discarding masks computed against
+            since-mutated hot sets (see
+            :attr:`~repro.core.hotset.HotSetIndex.version`).
 
     Returns:
         A :class:`MicroBatches` whose two µ-batches partition the input.
@@ -130,7 +139,14 @@ def split_minibatch(
         raise ValueError(
             f"expected {batch.num_tables} hot sets (one per table), got {index.num_tables}"
         )
-    mask = index.classify(batch.sparse)
+    if mask is None:
+        mask = index.classify(batch.sparse)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (batch.size,):
+            raise ValueError(
+                f"precomputed mask has shape {mask.shape}, expected ({batch.size},)"
+            )
     if not materialize:
         return MicroBatches(popular_mask=mask, source=batch)
     popular, non_popular = batch.split(mask)

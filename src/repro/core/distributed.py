@@ -71,7 +71,9 @@ from __future__ import annotations
 
 import copy
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any
 
 import numpy as np
@@ -382,6 +384,14 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             (``"flat"`` = vectorised flat arrays, ``"reference"`` = the
             dict-based parity reference); forwarded to
             :class:`~repro.core.lookahead.CachedEmbeddingPipeline`.
+        parallel_workers: Size of the shared thread pool the K replicas'
+            forward/backward passes run on (numpy's BLAS kernels release
+            the GIL, so replicas genuinely overlap).  Results are collected
+            **by replica index** and assembled in the same replica-major
+            order the sequential loop produces, so the reducer and sparse
+            exchange see identical ordered partial lists — bit-identical
+            numerics for any worker count (the parity suite sweeps K ×
+            workers).  ``1`` (default) keeps the sequential in-thread loop.
     """
 
     def __init__(
@@ -403,6 +413,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         reducer: GradientBucketReducer | None = None,
         fused: bool = True,
         pending_store: str = "flat",
+        parallel_workers: int = 1,
     ):
         super().__init__(
             model,
@@ -472,6 +483,14 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         self.last_remote_lookups: int = 0
         #: Merged sparse-gradient rows routed to owners in the last step.
         self.last_routed_rows: int = 0
+        if parallel_workers < 1:
+            raise ValueError("parallel_workers must be >= 1")
+        #: Thread-pool width for the per-replica forward/backward fan-out.
+        self.parallel_workers = parallel_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_width = 0
+        #: Per-replica wall time of the most recent step (by replica index).
+        self.last_replica_times: tuple[float, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Dense-gradient plumbing
@@ -566,6 +585,146 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
     # ------------------------------------------------------------------ #
     # Acceleration phase
     # ------------------------------------------------------------------ #
+    def _placement_token(self) -> tuple:
+        """Identity + version fingerprint of every replica's hot-set index.
+
+        A classification mask computed ahead of time is only valid while
+        the bitmaps it was computed against are unchanged; comparing this
+        token at consume time catches both in-place recalibration deltas
+        (the version counter) and wholesale index replacement (the id).
+        """
+        return tuple(
+            (id(replica.placement.index), replica.placement.index.version)
+            for replica in self.replicas
+        )
+
+    def prepare_batch(self, batch: MiniBatch) -> MiniBatch:
+        """Classify a future batch's shards off the critical path.
+
+        The engine threads this through the loader's ``transform`` hook, so
+        with prefetching enabled batch N+1's popular/non-popular bitmap
+        pass (the `split_minibatch` classification) runs on the loader's
+        worker thread while batch N's backward/optimizer work runs on the
+        main thread — the accelerator-lane overlap of the hwsim schedule,
+        now on the functional path.  The masks are annotated onto the
+        batch together with a placement fingerprint;
+        :meth:`train_step` uses them only while the fingerprint still
+        matches (a recalibration in the gap invalidates them, and the step
+        re-classifies inline).  ``classify`` is pure, so a valid
+        precomputed mask is bit-identical to the inline pass — prefetch
+        depth can never change numerics.
+        """
+        if any(replica.placement is None for replica in self.replicas):
+            return batch
+        token = self._placement_token()
+        masks = tuple(
+            replica.placement.index.classify(shard_batch.sparse)
+            if shard_batch.size
+            else None
+            for shard_batch, replica in zip(
+                batch.shards(self.num_shards), self.replicas, strict=True
+            )
+        )
+        batch._hotline_masks = (token, masks)
+        return batch
+
+    def _take_masks(self, batch: MiniBatch) -> tuple | None:
+        """The batch's precomputed per-shard masks, if still valid."""
+        annotation = getattr(batch, "_hotline_masks", None)
+        if annotation is None:
+            return None
+        token, masks = annotation
+        if token != self._placement_token():
+            return None
+        return masks
+
+    def _replica_step(
+        self,
+        shard_id: int,
+        shard_batch: MiniBatch,
+        replica: ShardReplica,
+        global_batch_size: int,
+        mask: np.ndarray | None,
+    ) -> tuple[list[float], list[np.ndarray], list[list[SparseGradient]], int, int, float]:
+        """One replica's forward/backward over its shard, thread-safely.
+
+        Touches only per-replica state (the replica's own model and
+        placement) plus read-only shared state, so K calls can run
+        concurrently on the thread pool.  Returns everything the caller
+        needs to assemble the globally-ordered partials:
+        ``(per-segment losses, per-segment flat dense partials, per-table
+        per-segment sparse partials, popular count, remote lookups, wall
+        seconds)``.
+        """
+        start = perf_counter()
+        remote = (
+            self.partition.remote_lookup_count(shard_batch.sparse, shard_id)
+            if self.partition is not None
+            else 0
+        )
+        micro = split_minibatch(
+            shard_batch,
+            replica.placement.index,
+            materialize=not self.fused,
+            mask=mask,
+        )
+        losses: list[float] = []
+        dense_partials: list[np.ndarray] = []
+        if self.fused:
+            # Fused µ-batch execution: one embedding gather + scatter per
+            # table (or per step, with a stacked store) for the replica's
+            # two µ-batches.  The after-segment hook snapshots each
+            # µ-batch's flat dense partial and zeroes the layers, so the
+            # partials come out in segment order — the caller concatenates
+            # them replica-major, the exact order the merged reference
+            # accumulates in.  Losses fold in segment order too.
+            def after_segment(_s, seg_loss, model=replica.model):
+                losses.append(seg_loss)
+                dense_partials.append(self._flat_dense_gradient(model))
+                model.zero_grad()
+
+            replica.model.zero_grad()
+            # Global-batch normalisation keeps the reduced K-replica
+            # update identical to the single-replica one (Eq. 5).
+            _losses, sparse_partials = replica.model.fused_loss_and_gradients(
+                shard_batch,
+                micro.segment_indices(),
+                normalizer=global_batch_size,
+                after_segment=after_segment,
+            )
+            sparse_partials = [list(grads) for grads in sparse_partials]
+        else:
+            sparse_partials = [[] for _ in range(shard_batch.num_tables)]
+            for micro_batch in micro.segments():
+                replica.model.zero_grad()
+                loss, sparse_grads = replica.model.loss_and_gradients(
+                    micro_batch, normalizer=global_batch_size
+                )
+                losses.append(loss)
+                dense_partials.append(self._flat_dense_gradient(replica.model))
+                for table, grad in enumerate(sparse_grads):
+                    sparse_partials[table].append(grad)
+        return (
+            losses,
+            dense_partials,
+            sparse_partials,
+            micro.popular_count,
+            remote,
+            perf_counter() - start,
+        )
+
+    def _replica_pool(self, width: int) -> ThreadPoolExecutor:
+        """The shared replica-stepping pool, (re)built at ``width`` workers."""
+        if self._pool is not None and self._pool_width != width:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="replica-step"
+            )
+            self._pool_width = width
+        return self._pool
+
     def train_step(self, batch: MiniBatch) -> tuple[float, float]:
         """One data-parallel step across the K replicas of ``batch``.
 
@@ -575,10 +734,15 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         to the merged reference's in-layer accumulation), the sparse
         exchange merges per-table partials in the same order, and every
         replica applies the identical update — so replicas never drift.
-        In ``stale-k`` mode (k > 0) the reduced dense gradient is applied
-        ``k`` steps late through a k-deep deque (the first k steps apply
-        none), modelling a pipeline of in-flight reduces at the cost of
-        staleness; with a lookahead pipeline attached, merged sparse
+        With ``parallel_workers > 1`` the K forward/backward passes run
+        concurrently on the shared thread pool; each replica's partials are
+        collected into its own slot and assembled in replica-index order
+        afterwards, so the reducer/exchange inputs — and therefore the
+        numerics — are identical to the sequential loop for any worker
+        count.  In ``stale-k`` mode (k > 0) the reduced dense gradient is
+        applied ``k`` steps late through a k-deep deque (the first k steps
+        apply none), modelling a pipeline of in-flight reduces at the cost
+        of staleness; with a lookahead pipeline attached, merged sparse
         gradients defer under the same bound (flush on window exit or at
         age k).  Staleness is uniform across replicas either way, so they
         still never drift.
@@ -590,63 +754,51 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             raise RuntimeError("learning_phase must run before training")
         if self.lookahead is not None:
             self._advance_lookahead(batch)
-        total_loss = 0.0
-        popular_size = 0
-        dense_partials: list[np.ndarray] = []
-        partial_sparse: list[list[SparseGradient]] = [
-            [] for _ in range(self.model.config.num_sparse_features)
-        ]
-        remote_lookups = 0
+        precomputed = self._take_masks(batch)
+        work: list[tuple[int, MiniBatch, ShardReplica, int, np.ndarray | None]] = []
         for shard_id, (shard_batch, replica) in enumerate(
             zip(batch.shards(self.num_shards), self.replicas, strict=True)
         ):
             if shard_batch.size == 0:
                 continue
-            if self.partition is not None:
-                remote_lookups += self.partition.remote_lookup_count(
-                    shard_batch.sparse, shard_id
-                )
-            micro = split_minibatch(
-                shard_batch, replica.placement.index, materialize=not self.fused
-            )
-            popular_size += micro.popular_count
-            if self.fused:
-                # Fused µ-batch execution: one embedding gather + scatter
-                # per table for the replica's two µ-batches.  The
-                # after-segment hook snapshots each µ-batch's flat dense
-                # partial and zeroes the layers, so the reducer still
-                # chain-sums per-µ-batch partials in the exact rank-major
-                # order the merged reference accumulates in — as does the
-                # sparse exchange with the per-segment gradients —
-                # keeping the fused path bit-identical to the sequential
-                # one.  Losses fold in segment order through the hook too.
-                def after_segment(_s, seg_loss, model=replica.model):
-                    nonlocal total_loss
-                    total_loss += seg_loss
-                    dense_partials.append(self._flat_dense_gradient(model))
-                    model.zero_grad()
+            mask = precomputed[shard_id] if precomputed is not None else None
+            work.append((shard_id, shard_batch, replica, batch.size, mask))
+        if self.parallel_workers > 1 and len(work) > 1:
+            pool = self._replica_pool(min(self.parallel_workers, self.num_shards))
+            futures = [pool.submit(self._replica_step, *args) for args in work]
+            results = [future.result() for future in futures]
+        else:
+            results = [self._replica_step(*args) for args in work]
 
-                replica.model.zero_grad()
-                # Global-batch normalisation keeps the reduced K-replica
-                # update identical to the single-replica one (Eq. 5).
-                _losses, table_grads = replica.model.fused_loss_and_gradients(
-                    shard_batch,
-                    micro.segment_indices(),
-                    normalizer=batch.size,
-                    after_segment=after_segment,
-                )
-                for table, grads in enumerate(table_grads):
-                    partial_sparse[table].extend(grads)
-            else:
-                for micro_batch in micro.segments():
-                    replica.model.zero_grad()
-                    loss, sparse_grads = replica.model.loss_and_gradients(
-                        micro_batch, normalizer=batch.size
-                    )
-                    total_loss += loss
-                    dense_partials.append(self._flat_dense_gradient(replica.model))
-                    for table, grad in enumerate(sparse_grads):
-                        partial_sparse[table].append(grad)
+        # Deterministic replica-major assembly: results are walked in
+        # replica-index order regardless of thread completion order, and
+        # each replica's per-segment losses fold sequentially — the exact
+        # addition sequence of the sequential loop.
+        total_loss = 0.0
+        popular_size = 0
+        remote_lookups = 0
+        dense_partials: list[np.ndarray] = []
+        partial_sparse: list[list[SparseGradient]] = [
+            [] for _ in range(self.model.config.num_sparse_features)
+        ]
+        replica_times = [0.0] * self.num_shards
+        for (shard_id, _, _, _, _), (
+            losses,
+            replica_dense,
+            replica_sparse,
+            popular,
+            remote,
+            wall_s,
+        ) in zip(work, results, strict=True):
+            for loss in losses:
+                total_loss += loss
+            dense_partials.extend(replica_dense)
+            for table, grads in enumerate(replica_sparse):
+                partial_sparse[table].extend(grads)
+            popular_size += popular
+            remote_lookups += remote
+            replica_times[shard_id] = wall_s
+        self.last_replica_times = tuple(replica_times)
         self.last_remote_lookups = remote_lookups
 
         reduced = self.reducer.reduce(dense_partials) if dense_partials else None
@@ -703,6 +855,11 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         numbers of gradients.  Sync-mode runs have nothing in flight and
         return ``None``.
         """
+        # The replica-stepping pool is idle between runs; release its
+        # threads here (it is rebuilt lazily if the trainer steps again).
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         dense_updates = [flat for flat in self._pending_dense if flat is not None]
         self._pending_dense.clear()
         sparse_updates = None
@@ -834,4 +991,5 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             cache_fill_rows=stats.fill_rows if stats is not None else 0,
             stale_rows=stats.stale_rows if stats is not None else 0,
             prefetch_time_s=prefetch,
+            replica_times_s=self.last_replica_times,
         )

@@ -30,6 +30,7 @@ Hotline vs K-shard Hotline) meaningful.
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +71,11 @@ class TrainingResult:
         prefetch_time_s: Total priced lookahead fill/write-back traffic,
             hidden or not (the exposed tail is already folded into
             ``communication_time_s``).
+        replica_time_s: Measured (host) wall-clock seconds each replica
+            spent in its forward/backward work, summed over steps:
+            ``replica_time_s[k]`` is replica ``k``'s total.  Empty for
+            single-replica executors; surfaces the load balance of the
+            thread-pooled multi-replica step.
         final_metrics: Final validation accuracy / AUC / log-loss.
     """
 
@@ -85,6 +91,7 @@ class TrainingResult:
     cache_fill_rows: int = 0
     stale_rows: int = 0
     prefetch_time_s: float = 0.0
+    replica_time_s: list[float] = field(default_factory=list)
     final_metrics: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -138,6 +145,10 @@ class StepOutcome:
         stale_rows: Deferred row updates flushed by the staleness bound.
         prefetch_time_s: Priced cache fill/write-back traffic of the step,
             hidden or not.
+        replica_times_s: Measured (host) wall-clock seconds each replica
+            spent in this step's forward/backward work, by replica index
+            (``0.0`` for a replica whose shard was empty).  Empty for
+            single-replica executors.
     """
 
     loss: float
@@ -150,6 +161,7 @@ class StepOutcome:
     cache_fill_rows: int = 0
     stale_rows: int = 0
     prefetch_time_s: float = 0.0
+    replica_times_s: tuple[float, ...] = ()
 
     @property
     def step_time_s(self) -> float:
@@ -164,6 +176,16 @@ class StepExecutor(abc.ABC):
     evaluation) and implement :meth:`run_step`.  ``bind`` and
     ``recalibrate`` default to no-ops for executors without a learning
     phase (the baseline).
+
+    Executors may additionally define a ``prepare_batch(batch) -> batch``
+    hook: when present, the engine threads it through the loader as the
+    epoch's ``transform``, so with prefetching enabled the hook runs **on
+    the loader's worker thread** — ahead-of-the-critical-path work such as
+    classifying batch N+1's µ-batches overlaps batch N's optimizer update.
+    The hook must be thread-safe with respect to the executor's own step
+    (annotate the batch, never mutate executor state) and its result must
+    be discardable: a step must produce bit-identical output whether or
+    not the hook ran.
     """
 
     model = None
@@ -244,14 +266,40 @@ class TrainingEngine:
             override the loader either way; the trainers' ``train()``
             methods use the default, so wrap the trainer in your own
             ``TrainingEngine`` to control the knob.
+        parallel_workers: Convenience override of the executor's
+            ``parallel_workers`` knob (thread-pooled replica stepping in
+            :class:`~repro.core.distributed.ShardedHotlineTrainer`).
+            ``None`` leaves the executor's own setting; setting it on an
+            executor without the knob raises.
     """
 
-    def __init__(self, executor: StepExecutor, *, prefetch: int | None = None):
+    def __init__(
+        self,
+        executor: StepExecutor,
+        *,
+        prefetch: int | None = None,
+        parallel_workers: int | None = None,
+    ):
         self.executor = executor
         self.prefetch = prefetch
+        if parallel_workers is not None:
+            if not hasattr(executor, "parallel_workers"):
+                raise ValueError(
+                    f"{type(executor).__name__} has no parallel_workers knob"
+                )
+            if parallel_workers < 1:
+                raise ValueError("parallel_workers must be >= 1")
+            executor.parallel_workers = parallel_workers
 
     def _epoch_batches(self, loader: MiniBatchLoader):
-        """One epoch's batch iterator, prefetched when the loader supports it."""
+        """One epoch's batch iterator, prefetched when the loader supports it.
+
+        An executor exposing ``prepare_batch`` gets it threaded through the
+        loader's ``transform`` hook, so the preparation (e.g. next-batch
+        µ-batch classification) runs on the prefetch worker thread, under
+        the current step.  Loaders without the hook (or without ``epoch``)
+        simply skip it — the step recomputes, numerics unchanged.
+        """
         epoch = getattr(loader, "epoch", None)
         if epoch is None:
             return iter(loader)
@@ -259,6 +307,17 @@ class TrainingEngine:
         if depth is None:
             loader_depth = getattr(loader, "prefetch", None)
             depth = 1 if loader_depth is None else loader_depth
+        transform = getattr(self.executor, "prepare_batch", None)
+        if transform is not None:
+            # Probe the signature rather than catching TypeError from the
+            # call: epoch() draws the shuffle order eagerly, so a failed
+            # call-and-retry would consume the RNG twice.
+            try:
+                accepts = "transform" in inspect.signature(epoch).parameters
+            except (TypeError, ValueError):
+                accepts = False
+            if accepts:
+                return epoch(prefetch=depth, transform=transform)
         return epoch(prefetch=depth)
 
     def train(
@@ -291,6 +350,14 @@ class TrainingEngine:
                 result.cache_fill_rows += outcome.cache_fill_rows
                 result.stale_rows += outcome.stale_rows
                 result.prefetch_time_s += outcome.prefetch_time_s
+                if outcome.replica_times_s:
+                    if len(result.replica_time_s) < len(outcome.replica_times_s):
+                        result.replica_time_s.extend(
+                            [0.0]
+                            * (len(outcome.replica_times_s) - len(result.replica_time_s))
+                        )
+                    for i, replica_time in enumerate(outcome.replica_times_s):
+                        result.replica_time_s[i] += replica_time
                 if outcome.bucket_times_s:
                     if len(result.bucket_comm_s) < len(outcome.bucket_times_s):
                         result.bucket_comm_s.extend(

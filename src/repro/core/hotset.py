@@ -46,6 +46,7 @@ class HotSetIndex:
         self._rows_per_table = (
             tuple(int(rows) for rows in rows_per_table) if rows_per_table is not None else None
         )
+        self._version = 0
         self._bitmaps: list[np.ndarray] = []
         for table, hot in enumerate(self.hot_sets):
             if hot.size and hot.min() < 0:
@@ -87,6 +88,20 @@ class HotSetIndex:
     def num_tables(self) -> int:
         """Number of indexed tables."""
         return len(self._bitmaps)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter of the bitmaps.
+
+        Bumped *after* every delta update (:meth:`set_rows`,
+        :meth:`clear_rows`, :meth:`replace_table`), so a classification
+        result computed ahead of time — e.g. the loader-thread µ-batch
+        pre-classification of batch N+1 — can be tagged with the version it
+        was computed against and discarded if a recalibration has since
+        mutated the bitmaps.  Observing the final version implies every
+        bitmap mutation of that recalibration is visible.
+        """
+        return self._version
 
     def table_size(self, table: int) -> int:
         """Length of one table's bitmap."""
@@ -182,6 +197,7 @@ class HotSetIndex:
         bitmap = self._grow_bitmap(table, int(rows.max()) + 1)
         bitmap[rows] = True
         self._hot_sets[table] = None  # rebuilt lazily on next hot_sets access
+        self._version += 1
 
     def clear_rows(self, table: int, rows: np.ndarray) -> None:
         """Mark ``rows`` cold in place (recalibration delta).
@@ -194,6 +210,7 @@ class HotSetIndex:
         bitmap = self._bitmaps[table]
         bitmap[rows[rows < bitmap.size]] = False
         self._hot_sets[table] = None  # rebuilt lazily on next hot_sets access
+        self._version += 1
 
     def replace_table(self, table: int, new_hot: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Swap one table's hot set, flipping only the rows that drifted.
@@ -230,6 +247,7 @@ class HotSetIndex:
         bitmap[removed] = False
         bitmap[added] = True
         self._hot_sets[table] = new_hot
+        self._version += 1
         return added, removed
 
     def classify(self, sparse: np.ndarray) -> np.ndarray:

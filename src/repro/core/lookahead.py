@@ -427,12 +427,42 @@ def epoch_row_stream(loader) -> Iterator[list[np.ndarray]]:
     (``loader.last_epoch_order``, drawn eagerly before iteration begins)
     by slicing the click log directly — the loader's shuffling RNG is never
     touched, so walking ahead here cannot perturb the training stream.
+
+    The per-epoch ``np.unique`` passes are memoised on the loader, keyed on
+    the *identity* of ``loader.last_epoch_order`` (plus the log's sparse
+    block and the batch bounds): replayed epochs — every epoch of an
+    unshuffled loader, and any second walk over the same drawn order —
+    yield the cached arrays and pay nothing.  A shuffled loader draws a
+    fresh order array each epoch, so its identity changes and the stream is
+    recomputed.  The cache holds references to its key objects, so ``id``
+    reuse after garbage collection can never cause a false hit, and it is
+    only installed once a walk completes (a partial walk never poisons it).
+    Treat the yielded arrays as read-only — they are shared across walks.
     """
     order = getattr(loader, "last_epoch_order", None)
     log = loader.log
-    for start, stop in loader.batch_bounds():
+    bounds = list(loader.batch_bounds())
+    cached = getattr(loader, "_row_stream_cache", None)
+    if (
+        cached is not None
+        and cached[0] is order
+        and cached[1] is log.sparse
+        and cached[2] == bounds
+    ):
+        yield from cached[3]
+        return
+    rows_per_batch: list[list[np.ndarray]] = []
+    for start, stop in bounds:
         block = log.sparse[start:stop] if order is None else log.sparse[order[start:stop]]
-        yield [np.unique(block[:, table, :]) for table in range(block.shape[1])]
+        rows = [np.unique(block[:, table, :]) for table in range(block.shape[1])]
+        rows_per_batch.append(rows)
+        yield rows
+    # Reached only when the walk completed (generators abandoned mid-epoch
+    # never install a partial stream).
+    try:
+        loader._row_stream_cache = (order, log.sparse, bounds, rows_per_batch)
+    except AttributeError:  # loaders that forbid ad-hoc attributes
+        pass
 
 
 class CachedEmbeddingPipeline:

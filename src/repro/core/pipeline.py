@@ -182,8 +182,13 @@ class HotlineTrainer(StepExecutor):
         # fancy-index per table rather than an np.isin set scan.
         # The fused path trains through the original batch + mask, so the
         # µ-batch copies are built lazily (only if a caller reads them).
+        # A mask pre-classified on the loader thread (prepare_batch) is
+        # used as-is while its placement fingerprint still matches.
         micro = split_minibatch(
-            batch, self.placement.index, materialize=not self.fused
+            batch,
+            self.placement.index,
+            materialize=not self.fused,
+            mask=self._take_mask(batch),
         )
         self.model.zero_grad()
         total_loss = 0.0
@@ -218,6 +223,36 @@ class HotlineTrainer(StepExecutor):
         """Run the learning phase if no placement exists yet."""
         if self.placement is None:
             self.learning_phase(loader)
+
+    def prepare_batch(self, batch: MiniBatch) -> MiniBatch:
+        """Classify a future batch's µ-batches off the critical path.
+
+        Threaded through the loader's ``transform`` hook by the engine:
+        with prefetching enabled, batch N+1's popular/non-popular bitmap
+        pass runs on the loader's worker thread under batch N's step.  The
+        mask is annotated with the placement's identity + version
+        fingerprint and discarded by :meth:`train_step` if a recalibration
+        mutated the hot sets in between — classification is pure, so the
+        precomputed and inline masks are bit-identical whenever the
+        fingerprint matches.
+        """
+        if self.placement is None:
+            return batch
+        index = self.placement.index
+        token = (id(index), index.version)
+        batch._hotline_masks = (token, index.classify(batch.sparse))
+        return batch
+
+    def _take_mask(self, batch: MiniBatch):
+        """The batch's precomputed popular mask, if still valid."""
+        annotation = getattr(batch, "_hotline_masks", None)
+        if annotation is None:
+            return None
+        token, mask = annotation
+        index = self.placement.index
+        if token != (id(index), index.version):
+            return None
+        return mask
 
     def run_step(self, batch: MiniBatch) -> StepOutcome:
         """One Hotline step reported to the engine."""

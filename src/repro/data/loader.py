@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -175,12 +175,23 @@ class MiniBatchLoader:
         for start, stop in self.batch_bounds():
             yield self._batch_at(order, start, stop)
 
-    def epoch(self, prefetch: int | None = None) -> Iterator[MiniBatch]:
+    def epoch(
+        self,
+        prefetch: int | None = None,
+        transform: Callable[[MiniBatch], MiniBatch] | None = None,
+    ) -> Iterator[MiniBatch]:
         """One epoch of mini-batches, optionally prefetched.
 
         The shuffle order is drawn eagerly (before any background thread
         starts), so prefetching never changes which batches an epoch yields
         — only when they are assembled.
+
+        ``transform`` is applied to every batch right after assembly — and,
+        with prefetching enabled, *on the prefetch worker thread*, so work
+        like the next batch's µ-batch classification overlaps the current
+        training step instead of extending it.  The transform must return
+        the (possibly annotated) batch and be safe to run concurrently
+        with the consumer's step.
         """
         order: np.ndarray | None = None
         if self.shuffle:
@@ -188,6 +199,8 @@ class MiniBatchLoader:
             self._rng.shuffle(order)
         self.last_epoch_order = order
         producer = self._epoch_batches(order)
+        if transform is not None:
+            producer = (transform(batch) for batch in producer)
         depth = self.prefetch if prefetch is None else prefetch
         if depth is not None and depth > 0:
             return _prefetched(producer, depth)

@@ -17,7 +17,13 @@ import numpy as np
 
 from repro.data.batch import MiniBatch
 from repro.models.configs import ModelConfig
-from repro.nn.embedding import EmbeddingBag, SparseGradient, segment_ids_for
+from repro.nn.embedding import (
+    EmbeddingBag,
+    SparseGradient,
+    StackedEmbeddingStore,
+    segment_ids_for,
+    stacked_segmented_scatter,
+)
 from repro.nn.interaction import (
     dot_interaction,
     dot_interaction_backward,
@@ -30,7 +36,19 @@ from repro.nn.mlp import MLP
 class DLRM:
     """Trainable DLRM instance for a given :class:`ModelConfig`."""
 
-    def __init__(self, config: ModelConfig, seed: int = 0):
+    def __init__(self, config: ModelConfig, seed: int = 0, stacked: bool = False):
+        """Build the model.
+
+        Args:
+            config: Architecture + dataset description.
+            seed: Parameter-init seed.
+            stacked: Adopt every table into one
+                :class:`~repro.nn.embedding.StackedEmbeddingStore`, so the
+                fused µ-batch path pays one gather and one segmented
+                scatter per *step* instead of per table.  Numerics are
+                bit-identical either way (the parity suite proves it);
+                ``False`` keeps the per-table storage as the reference.
+        """
         self.config = config
         rng = np.random.default_rng(seed)
         bottom_sizes = [int(tok) for tok in config.bottom_mlp.split("-")]
@@ -52,6 +70,9 @@ class DLRM:
         top_hidden = [int(tok) for tok in config.top_mlp.split("-")]
         top_input = interaction_output_dim(config.embedding_dim, config.num_sparse_features)
         self.top_mlp = MLP([top_input] + top_hidden, rng)
+        self.stacked: StackedEmbeddingStore | None = (
+            StackedEmbeddingStore(self.tables) if stacked else None
+        )
         self._interaction_cache: dict | None = None
 
     # ------------------------------------------------------------------ #
@@ -169,9 +190,18 @@ class DLRM:
         if normalizer is not None and normalizer <= 0:
             raise ValueError("normalizer must be positive")
         segment_ids = segment_ids_for(segments, batch.size)
-        pooled = [
-            table.forward(batch.sparse[:, t, :]) for t, table in enumerate(self.tables)
-        ]
+        stacked_block: np.ndarray | None = None
+        if self.stacked is not None:
+            # Cross-table fusion: ONE gather for every table's lookups.
+            # Per-table strided sums over the gathered block are
+            # bit-identical to per-table forward() pooling.
+            stacked_block = self.stacked.stacked_indices(batch.sparse)
+            gathered = self.stacked.gather(stacked_block)
+            pooled = [gathered[:, t].sum(axis=1) for t in range(num_tables)]
+        else:
+            pooled = [
+                table.forward(batch.sparse[:, t, :]) for t, table in enumerate(self.tables)
+            ]
         losses: list[float] = []
         grad_pooled: list[list[np.ndarray]] = [[] for _ in range(num_tables)]
         for s, idx in enumerate(segments):
@@ -193,9 +223,36 @@ class DLRM:
             losses.append(loss)
             if after_segment is not None:
                 after_segment(s, loss)
+        pooling = batch.pooling
+        if self.stacked is not None:
+            # Cross-table fusion: ONE segmented scatter for every table's
+            # gradients.  Assemble the per-sample, per-table pooled-output
+            # gradients as one (batch, tables, dim) block; its (batch,
+            # table, pooling) ravel keeps each table's contributions in the
+            # per-table flat order, so the combined scatter is
+            # bit-identical to per-table backward_segments calls.
+            dtype = grad_pooled[0][0].dtype if grad_pooled[0] else np.float64
+            grad_block = np.empty(
+                (batch.size, num_tables, self.config.embedding_dim), dtype=dtype
+            )
+            for s, idx in enumerate(segments):
+                for t in range(num_tables):
+                    grad_block[idx, t] = grad_pooled[t][s]
+            flat_grads = grad_block.reshape(batch.size * num_tables, -1)
+            if pooling != 1:
+                flat_grads = np.repeat(flat_grads, pooling, axis=0)
+            flat_segment_ids = np.repeat(segment_ids, num_tables * pooling)
+            sparse_grads = stacked_segmented_scatter(
+                stacked_block.reshape(-1),
+                flat_grads,
+                flat_segment_ids,
+                len(segments),
+                self.stacked.offsets,
+                self.config.embedding_dim,
+            )
+            return losses, sparse_grads
         # The flat (per-lookup) segment ids are table-independent — build
         # them once and share them across every table's scatter.
-        pooling = batch.pooling
         flat_segment_ids = (
             segment_ids if pooling == 1 else np.repeat(segment_ids, pooling)
         )

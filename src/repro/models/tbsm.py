@@ -23,8 +23,10 @@ from repro.nn.attention import DotProductAttention
 from repro.nn.embedding import (
     EmbeddingBag,
     SparseGradient,
+    StackedEmbeddingStore,
     segment_ids_for,
     segmented_scatter,
+    stacked_segmented_scatter,
 )
 from repro.nn.loss import bce_with_logits, bce_with_logits_backward, predicted_probabilities
 from repro.nn.mlp import MLP
@@ -33,7 +35,15 @@ from repro.nn.mlp import MLP
 class TBSM:
     """Trainable TBSM instance for a given :class:`ModelConfig`."""
 
-    def __init__(self, config: ModelConfig, seed: int = 0):
+    def __init__(self, config: ModelConfig, seed: int = 0, stacked: bool = False):
+        """Build the model.
+
+        ``stacked`` adopts every table (history included) into one
+        :class:`~repro.nn.embedding.StackedEmbeddingStore`, so the fused
+        µ-batch path pays one gather and one segmented scatter per *step*;
+        bit-identical to per-table storage (see
+        :class:`~repro.models.dlrm.DLRM`).
+        """
         if not config.uses_attention:
             raise ValueError("TBSM requires a configuration with uses_attention=True")
         self.config = config
@@ -54,6 +64,9 @@ class TBSM:
         top_hidden = [int(tok) for tok in config.top_mlp.split("-")]
         top_input = config.embedding_dim * (1 + 1 + (config.num_sparse_features - 1))
         self.top_mlp = MLP([top_input] + top_hidden, rng)
+        self.stacked: StackedEmbeddingStore | None = (
+            StackedEmbeddingStore(self.tables) if stacked else None
+        )
         self._cache: dict | None = None
 
     def forward(self, batch: MiniBatch) -> np.ndarray:
@@ -169,15 +182,26 @@ class TBSM:
         if normalizer is not None and normalizer <= 0:
             raise ValueError("normalizer must be positive")
         dim = self.config.embedding_dim
-        # History sequences: one raw gather over the whole batch's lookups.
         history_block = batch.sparse[:, 0, :]
         steps = history_block.shape[1]
-        sequence_all = self.tables[0].weight[history_block]
         segment_ids = segment_ids_for(segments, batch.size)
-        pooled = {
-            t: self.tables[t].forward(batch.sparse[:, t, :])
-            for t in range(1, num_tables)
-        }
+        stacked_block: np.ndarray | None = None
+        if self.stacked is not None:
+            # Cross-table fusion: ONE gather covers the history sequence
+            # (raw, unpooled) and every other table's pooled lookups.
+            stacked_block = self.stacked.stacked_indices(batch.sparse)
+            gathered = self.stacked.gather(stacked_block)
+            sequence_all = gathered[:, 0]
+            pooled = {
+                t: gathered[:, t].sum(axis=1) for t in range(1, num_tables)
+            }
+        else:
+            # History sequences: one raw gather over the batch's lookups.
+            sequence_all = self.tables[0].weight[history_block]
+            pooled = {
+                t: self.tables[t].forward(batch.sparse[:, t, :])
+                for t in range(1, num_tables)
+            }
         losses: list[float] = []
         #: Allocated at the first segment's backward so the buffer matches
         #: the gradient dtype (float32 models stay float32 end-to-end).
@@ -212,6 +236,28 @@ class TBSM:
             losses.append(loss)
             if after_segment is not None:
                 after_segment(s, loss)
+        if self.stacked is not None:
+            # Cross-table fusion: ONE segmented scatter for the history
+            # table's per-step gradients and every pooled table's repeated
+            # gradients together.  The (batch, tables, steps, dim) block's
+            # ravel preserves each table's per-table flat (batch, pooling)
+            # contribution order, so the combined scatter is bit-identical
+            # to the per-table scatters below.
+            grad_block = np.empty(
+                (batch.size, num_tables, steps, dim), dtype=history_grad_all.dtype
+            )
+            grad_block[:, 0] = history_grad_all
+            for s, idx in enumerate(segments):
+                for t in range(1, num_tables):
+                    grad_block[idx, t] = grad_pooled[t][s][:, None, :]
+            return losses, stacked_segmented_scatter(
+                stacked_block.reshape(-1),
+                grad_block.reshape(-1, dim),
+                np.repeat(segment_ids, num_tables * steps),
+                len(segments),
+                self.stacked.offsets,
+                dim,
+            )
         # One scatter per table: the history table's per-step gradients go
         # through the segmented scatter directly (no pooling repeat); the
         # flat segment ids are table-independent and shared.

@@ -82,3 +82,26 @@ def test_mask_alignment_with_original_batch():
     np.testing.assert_array_equal(
         batch.select(np.nonzero(micro.popular_mask)[0]).labels, micro.popular.labels
     )
+
+
+def test_precomputed_mask_matches_inline_classification():
+    """A valid precomputed mask short-circuits the bitmap pass without
+    moving a bit — classify is pure."""
+    batch = make_batch()
+    inline = split_minibatch(batch, HOT)
+    from repro.core.hotset import as_hot_set_index
+
+    mask = as_hot_set_index(HOT).classify(batch.sparse)
+    precomputed = split_minibatch(batch, HOT, mask=mask)
+    np.testing.assert_array_equal(precomputed.popular_mask, inline.popular_mask)
+    np.testing.assert_array_equal(precomputed.popular.labels, inline.popular.labels)
+    # Even an all-wrong mask is honoured verbatim (validity is the
+    # caller's contract) — proving the mask really bypasses the bitmaps.
+    flipped = split_minibatch(batch, HOT, mask=~mask)
+    np.testing.assert_array_equal(flipped.popular_mask, ~inline.popular_mask)
+
+
+def test_wrong_shaped_mask_rejected():
+    batch = make_batch()
+    with pytest.raises(ValueError, match="mask"):
+        split_minibatch(batch, HOT, mask=np.ones(batch.size + 1, dtype=bool))

@@ -160,3 +160,22 @@ def test_empty_deltas_are_noops():
     index.set_rows(0, np.empty(0, dtype=np.int64))
     index.clear_rows(0, np.empty(0, dtype=np.int64))
     np.testing.assert_array_equal(index.hot_sets[0], [1, 2])
+
+
+def test_version_bumps_after_every_mutation():
+    """The version counter increments once per delta — and only after the
+    bitmaps are updated, so observing a version implies its mutations are
+    visible (the precomputed-mask validity token relies on this)."""
+    index = HotSetIndex([np.array([1, 2])], rows_per_table=(8,))
+    start = index.version
+    index.set_rows(0, np.array([4]))
+    assert index.version == start + 1
+    index.clear_rows(0, np.array([1]))
+    assert index.version == start + 2
+    index.replace_table(0, np.array([0, 5]))
+    assert index.version == start + 3
+    # Empty deltas are no-ops: the bitmaps are untouched, so a mask
+    # computed before one remains valid and the version must not move.
+    index.set_rows(0, np.empty(0, dtype=np.int64))
+    index.clear_rows(0, np.empty(0, dtype=np.int64))
+    assert index.version == start + 3

@@ -200,6 +200,53 @@ def test_epoch_row_stream_mirrors_loader_epochs():
                 )
 
 
+def test_epoch_row_stream_cache_hit_is_identical():
+    """A replayed epoch serves the memoised row sets — same values, and
+    provably the cached objects (no recompute) — without changing the
+    stream a consumer sees."""
+    log = generate_click_log(TINY_DATASET, 512, seed=2)
+    loader = MiniBatchLoader(log, batch_size=128)
+    list(loader.epoch())
+    first = list(epoch_row_stream(loader))
+    assert getattr(loader, "_row_stream_cache", None) is not None
+    list(loader.epoch())  # unshuffled: same order (None) every epoch
+    second = list(epoch_row_stream(loader))
+    assert len(second) == len(first)
+    for rows_a, rows_b in zip(first, second, strict=True):
+        for table_a, table_b in zip(rows_a, rows_b, strict=True):
+            assert table_b is table_a  # served from cache, not recomputed
+            np.testing.assert_array_equal(table_a, table_b)
+
+
+def test_epoch_row_stream_cache_invalidated_by_new_order():
+    """A shuffled loader draws a fresh order each epoch, so the cache never
+    serves a stale epoch's rows — each walk mirrors its own epoch exactly."""
+    log = generate_click_log(TINY_DATASET, 512, seed=3)
+    loader = MiniBatchLoader(log, batch_size=128, shuffle=True, seed=9)
+    for _ in range(2):
+        batches = list(loader.epoch())
+        mirrored = list(epoch_row_stream(loader))
+        for batch, rows in zip(batches, mirrored, strict=True):
+            for table, table_rows in enumerate(rows):
+                np.testing.assert_array_equal(
+                    table_rows, np.unique(batch.sparse[:, table, :])
+                )
+
+
+def test_epoch_row_stream_partial_walk_never_caches():
+    """Abandoning the stream mid-epoch must not install a truncated cache
+    that a later full walk would silently serve."""
+    log = generate_click_log(TINY_DATASET, 512, seed=5)
+    loader = MiniBatchLoader(log, batch_size=128)
+    list(loader.epoch())
+    partial = epoch_row_stream(loader)
+    next(partial)
+    partial.close()
+    assert getattr(loader, "_row_stream_cache", None) is None
+    full = list(epoch_row_stream(loader))
+    assert len(full) == len(loader)
+
+
 @pytest.mark.slow
 def test_fig30s_convergence_vs_exposure_acceptance():
     """Acceptance: exposed time shrinks and final loss degrades

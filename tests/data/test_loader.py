@@ -94,6 +94,44 @@ def test_epoch_prefetch_override(log):
     assert_same_batches(list(loader.epoch(prefetch=3)), list(loader.epoch(prefetch=0)))
 
 
+def test_epoch_transform_applied_to_every_batch(log):
+    """The transform hook sees each batch exactly once, in epoch order,
+    and its return value is what the epoch yields."""
+    loader = MiniBatchLoader(log, batch_size=128)
+    seen = []
+
+    def tag(batch):
+        seen.append(batch)
+        batch._tag = len(seen)
+        return batch
+
+    batches = list(loader.epoch(transform=tag))
+    assert [batch._tag for batch in batches] == list(range(1, len(batches) + 1))
+    assert all(a is b for a, b in zip(batches, seen, strict=True))
+    assert_same_batches(batches, list(loader.epoch()))
+
+
+def test_epoch_transform_runs_on_prefetch_worker_thread(log):
+    """With prefetching enabled the transform executes on the loader's
+    worker thread — that is what lets µ-batch pre-classification overlap
+    the training step instead of extending it."""
+    import threading
+
+    loader = MiniBatchLoader(log, batch_size=128)
+    thread_names = set()
+
+    def spy(batch):
+        thread_names.add(threading.current_thread().name)
+        return batch
+
+    synchronous = list(loader.epoch(prefetch=0, transform=spy))
+    assert thread_names == {threading.current_thread().name}
+    thread_names.clear()
+    prefetched = list(loader.epoch(prefetch=2, transform=spy))
+    assert thread_names == {"minibatch-prefetch"}
+    assert_same_batches(synchronous, prefetched)
+
+
 def test_prefetch_early_break_does_not_hang(log):
     loader = MiniBatchLoader(log, batch_size=64, prefetch=1)
     for i, _batch in enumerate(loader):
