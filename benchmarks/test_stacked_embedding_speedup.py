@@ -24,6 +24,12 @@ Two measurements:
   benchmark winning at batch 2048, and it does not — it only wins where
   the sparse path is the bottleneck.  Recorded, not gated, so the artifact
   tracks when a future MLP optimisation shifts the balance.
+
+  Re-measured after PR 7's packed dense path: still ~0.98-1.00x at batch
+  2048 — packing trims GEMM-launch overhead, not GEMM FLOPs, so the dense
+  share (~90% measured via ``StepOutcome.dense_time_s``) remains the
+  bottleneck at large batch and the default stays per-table.  See ROADMAP
+  item 4 for the measured crossover ratio this records.
 """
 
 import os

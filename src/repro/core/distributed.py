@@ -414,6 +414,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         fused: bool = True,
         pending_store: str = "flat",
         parallel_workers: int = 1,
+        dense_batching: str = "replica",
     ):
         super().__init__(
             model,
@@ -491,6 +492,20 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         self._pool_width = 0
         #: Per-replica wall time of the most recent step (by replica index).
         self.last_replica_times: tuple[float, ...] = ()
+        if dense_batching not in ("replica", "per-replica"):
+            raise ValueError(
+                "dense_batching must be 'replica' or 'per-replica', "
+                f"got {dense_batching!r}"
+            )
+        #: ``"replica"`` stacks the K sync-mode shards' dense passes into
+        #: one model-0 forward/backward over the *global* batch (replicas
+        #: hold bit-identical weights in sync mode, so K small GEMMs per
+        #: layer become one); falls back per-replica whenever the
+        #: preconditions don't hold (stale-k, thread pool, unfused).
+        self.dense_batching = dense_batching
+        #: Measured dense-section wall seconds of the most recent step,
+        #: summed over replicas.
+        self.last_dense_time_s = 0.0
 
     # ------------------------------------------------------------------ #
     # Dense-gradient plumbing
@@ -645,7 +660,9 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         replica: ShardReplica,
         global_batch_size: int,
         mask: np.ndarray | None,
-    ) -> tuple[list[float], list[np.ndarray], list[list[SparseGradient]], int, int, float]:
+    ) -> tuple[
+        list[float], list[np.ndarray], list[list[SparseGradient]], int, int, float, float
+    ]:
         """One replica's forward/backward over its shard, thread-safely.
 
         Touches only per-replica state (the replica's own model and
@@ -654,7 +671,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         needs to assemble the globally-ordered partials:
         ``(per-segment losses, per-segment flat dense partials, per-table
         per-segment sparse partials, popular count, remote lookups, wall
-        seconds)``.
+        seconds, dense-section wall seconds)``.
         """
         start = perf_counter()
         remote = (
@@ -711,7 +728,93 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             micro.popular_count,
             remote,
             perf_counter() - start,
+            replica.model.last_dense_time_s if self.fused else 0.0,
         )
+
+    def _stacked_replica_step(self, work, batch: MiniBatch) -> list[tuple]:
+        """All K shards' dense passes as ONE model-0 pass over the batch.
+
+        In sync (stale-0) mode every replica holds bit-identical weights,
+        so instead of K per-shard ``fused_loss_and_gradients`` calls the
+        whole mini-batch runs through **replica 0's** model once, with the
+        K shards' µ-batch segments offset into global-batch coordinates
+        and concatenated in shard order.  With the segment-packed dense
+        path this turns K·S small GEMMs per layer into one (K·shard, d)
+        GEMM.  Everything observable is bit-identical to the per-replica
+        loop: per-(shard, segment) losses, flat dense partials (the
+        ``after_segment`` hook yields them in exactly the replica-major
+        order the reducer consumes), and per-segment sparse partials (the
+        segmented scatters accumulate each segment's lookups in the same
+        within-segment flat order as the per-shard scatters).
+        Classification still runs per shard against each replica's own
+        placement, so the µ-batch split matches the per-replica path.
+
+        Returns per-shard result tuples shaped exactly like
+        :meth:`_replica_step`'s, so the caller's replica-major assembly is
+        shared.  The single measured wall time is attributed to shards
+        proportionally to their row counts (one stacked pass has no
+        per-shard walls to measure).
+        """
+        start = perf_counter()
+        bounds = [
+            (k * batch.size) // self.num_shards for k in range(self.num_shards + 1)
+        ]
+        model = self.replicas[0].model
+        all_segments: list[np.ndarray] = []
+        seg_counts: list[int] = []
+        populars: list[int] = []
+        remotes: list[int] = []
+        for shard_id, shard_batch, replica, _gbs, mask in work:
+            remotes.append(
+                self.partition.remote_lookup_count(shard_batch.sparse, shard_id)
+                if self.partition is not None
+                else 0
+            )
+            micro = split_minibatch(
+                shard_batch,
+                replica.placement.index,
+                materialize=False,
+                mask=mask,
+            )
+            segments = micro.segment_indices()
+            all_segments.extend(seg + bounds[shard_id] for seg in segments)
+            seg_counts.append(len(segments))
+            populars.append(micro.popular_count)
+        losses_all: list[float] = []
+        dense_all: list[np.ndarray] = []
+
+        def after_segment(_s, seg_loss):
+            losses_all.append(seg_loss)
+            dense_all.append(self._flat_dense_gradient(model))
+            model.zero_grad()
+
+        model.zero_grad()
+        _losses, sparse_all = model.fused_loss_and_gradients(
+            batch,
+            all_segments,
+            normalizer=batch.size,
+            after_segment=after_segment,
+        )
+        wall = perf_counter() - start
+        dense_s = model.last_dense_time_s
+        results = []
+        pos = 0
+        for i, (_sid, shard_batch, _replica, _gbs, _mask) in enumerate(work):
+            count = seg_counts[i]
+            share = shard_batch.size / batch.size if batch.size else 0.0
+            results.append(
+                (
+                    losses_all[pos : pos + count],
+                    dense_all[pos : pos + count],
+                    [list(grads[pos : pos + count]) for grads in sparse_all],
+                    populars[i],
+                    remotes[i],
+                    wall * share,
+                    dense_s * share,
+                )
+            )
+            pos += count
+        return results
 
     def _replica_pool(self, width: int) -> ThreadPoolExecutor:
         """The shared replica-stepping pool, (re)built at ``width`` workers."""
@@ -763,7 +866,17 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
                 continue
             mask = precomputed[shard_id] if precomputed is not None else None
             work.append((shard_id, shard_batch, replica, batch.size, mask))
-        if self.parallel_workers > 1 and len(work) > 1:
+        if (
+            self.dense_batching == "replica"
+            and self.fused
+            and self.reducer.staleness == 0
+            and self.parallel_workers == 1
+            and len(work) > 1
+        ):
+            # Sync-mode replicas are bit-identical, so the K shards' dense
+            # passes stack into one global-batch pass on replica 0.
+            results = self._stacked_replica_step(work, batch)
+        elif self.parallel_workers > 1 and len(work) > 1:
             pool = self._replica_pool(min(self.parallel_workers, self.num_shards))
             futures = [pool.submit(self._replica_step, *args) for args in work]
             results = [future.result() for future in futures]
@@ -782,6 +895,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             [] for _ in range(self.model.config.num_sparse_features)
         ]
         replica_times = [0.0] * self.num_shards
+        dense_time = 0.0
         for (shard_id, _, _, _, _), (
             losses,
             replica_dense,
@@ -789,6 +903,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             popular,
             remote,
             wall_s,
+            dense_s,
         ) in zip(work, results, strict=True):
             for loss in losses:
                 total_loss += loss
@@ -798,7 +913,9 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             popular_size += popular
             remote_lookups += remote
             replica_times[shard_id] = wall_s
+            dense_time += dense_s
         self.last_replica_times = tuple(replica_times)
+        self.last_dense_time_s = dense_time
         self.last_remote_lookups = remote_lookups
 
         reduced = self.reducer.reduce(dense_partials) if dense_partials else None
@@ -992,4 +1109,5 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             stale_rows=stats.stale_rows if stats is not None else 0,
             prefetch_time_s=prefetch,
             replica_times_s=self.last_replica_times,
+            dense_time_s=self.last_dense_time_s,
         )

@@ -76,6 +76,9 @@ class TrainingResult:
             ``replica_time_s[k]`` is replica ``k``'s total.  Empty for
             single-replica executors; surfaces the load balance of the
             thread-pooled multi-replica step.
+        dense_time_s: Measured (host) wall-clock seconds of the fused
+            dense sections across the run (all replicas) — the measured,
+            not inferred, MLP/interaction share of the training walltime.
         final_metrics: Final validation accuracy / AUC / log-loss.
     """
 
@@ -92,6 +95,7 @@ class TrainingResult:
     stale_rows: int = 0
     prefetch_time_s: float = 0.0
     replica_time_s: list[float] = field(default_factory=list)
+    dense_time_s: float = 0.0
     final_metrics: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -149,6 +153,10 @@ class StepOutcome:
             spent in this step's forward/backward work, by replica index
             (``0.0`` for a replica whose shard was empty).  Empty for
             single-replica executors.
+        dense_time_s: Measured (host) wall-clock seconds the step's fused
+            dense section (MLPs + interaction/attention + loss) took,
+            summed over replicas — the directly-measured MLP share of the
+            step (``0.0`` for executors without a fused dense pass).
     """
 
     loss: float
@@ -162,6 +170,7 @@ class StepOutcome:
     stale_rows: int = 0
     prefetch_time_s: float = 0.0
     replica_times_s: tuple[float, ...] = ()
+    dense_time_s: float = 0.0
 
     @property
     def step_time_s(self) -> float:
@@ -350,6 +359,7 @@ class TrainingEngine:
                 result.cache_fill_rows += outcome.cache_fill_rows
                 result.stale_rows += outcome.stale_rows
                 result.prefetch_time_s += outcome.prefetch_time_s
+                result.dense_time_s += outcome.dense_time_s
                 if outcome.replica_times_s:
                     if len(result.replica_time_s) < len(outcome.replica_times_s):
                         result.replica_time_s.extend(

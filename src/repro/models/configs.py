@@ -91,12 +91,24 @@ class ModelConfig:
 
     @property
     def mlp_flops_per_sample(self) -> float:
-        """Forward multiply-accumulate FLOPs of the MLPs for one sample."""
+        """Forward FLOPs of the MLPs for one sample.
+
+        Mirrors :attr:`repro.nn.mlp.MLP.flops_per_sample`: per ``Linear``,
+        ``2*in*out`` multiply-accumulates plus the bias add (``out``) and
+        the hidden-layer ReLU (``out``, every layer but the last) — not
+        MACs alone, which undercounted the dense times derived by
+        ``perf/costs.py``.
+        """
         flops = 0.0
         for arch in (self.bottom_mlp, self.top_mlp):
             sizes = [int(token) for token in arch.split("-")]
-            for fan_in, fan_out in zip(sizes[:-1], sizes[1:], strict=True):
-                flops += 2.0 * fan_in * fan_out
+            last = len(sizes) - 2
+            for i, (fan_in, fan_out) in enumerate(
+                zip(sizes[:-1], sizes[1:], strict=True)
+            ):
+                flops += 2.0 * fan_in * fan_out + fan_out
+                if i != last:
+                    flops += fan_out
         steps = self.dataset.time_series_length if self.uses_attention else 1
         return flops * steps
 

@@ -13,10 +13,13 @@ computation in different orders — which is exactly the paper's claim that
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.data.batch import MiniBatch
 from repro.models.configs import ModelConfig
+from repro.nn.gemm import PackedMLP, segment_bounds
 from repro.nn.embedding import (
     EmbeddingBag,
     SparseGradient,
@@ -36,7 +39,13 @@ from repro.nn.mlp import MLP
 class DLRM:
     """Trainable DLRM instance for a given :class:`ModelConfig`."""
 
-    def __init__(self, config: ModelConfig, seed: int = 0, stacked: bool = False):
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        stacked: bool = False,
+        batched: bool = True,
+    ):
         """Build the model.
 
         Args:
@@ -48,6 +57,13 @@ class DLRM:
                 scatter per *step* instead of per table.  Numerics are
                 bit-identical either way (the parity suite proves it);
                 ``False`` keeps the per-table storage as the reference.
+            batched: Run the fused µ-batch dense pass (MLPs + interaction)
+                over one segment-packed ``(batch, d)`` block — one GEMM
+                per layer per step instead of per segment — with
+                per-segment losses/partials recovered by slicing.
+                Bit-identical to the retained sequential per-segment loop
+                (the :mod:`repro.nn.gemm` contract); ``False`` keeps that
+                loop as the parity reference.
         """
         self.config = config
         rng = np.random.default_rng(seed)
@@ -74,6 +90,12 @@ class DLRM:
             StackedEmbeddingStore(self.tables) if stacked else None
         )
         self._interaction_cache: dict | None = None
+        self.batched = batched
+        self._packed_bottom = PackedMLP(self.bottom_mlp)
+        self._packed_top = PackedMLP(self.top_mlp)
+        #: Measured wall seconds of the last fused step's dense section
+        #: (MLPs + interaction + loss; pooling/scatter excluded).
+        self.last_dense_time_s = 0.0
 
     # ------------------------------------------------------------------ #
     # Forward / backward
@@ -202,27 +224,38 @@ class DLRM:
             pooled = [
                 table.forward(batch.sparse[:, t, :]) for t, table in enumerate(self.tables)
             ]
-        losses: list[float] = []
-        grad_pooled: list[list[np.ndarray]] = [[] for _ in range(num_tables)]
-        for s, idx in enumerate(segments):
-            dense_out = self.bottom_mlp.forward(batch.dense[idx])
-            interaction, cache = dot_interaction(
-                dense_out, [pooled[t][idx] for t in range(num_tables)]
+        dense_start = perf_counter()
+        if (
+            self.batched
+            and self._packed_bottom.supported
+            and self._packed_top.supported
+        ):
+            losses, grad_pooled = self._packed_dense_pass(
+                batch, segments, normalizer, after_segment, pooled
             )
-            logits = self.top_mlp.forward(interaction).reshape(-1)
-            labels = batch.labels[idx]
-            loss = float(bce_with_logits(logits, labels, reduction="sum"))
-            grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
-            if normalizer is not None:
-                grad_logits = grad_logits / normalizer
-            grad_interaction = self.top_mlp.backward(grad_logits.reshape(-1, 1))
-            grad_dense, grad_sparse = dot_interaction_backward(grad_interaction, cache)
-            self.bottom_mlp.backward(grad_dense)
-            for t in range(num_tables):
-                grad_pooled[t].append(grad_sparse[t])
-            losses.append(loss)
-            if after_segment is not None:
-                after_segment(s, loss)
+        else:
+            losses = []
+            grad_pooled = [[] for _ in range(num_tables)]
+            for s, idx in enumerate(segments):
+                dense_out = self.bottom_mlp.forward(batch.dense[idx])
+                interaction, cache = dot_interaction(
+                    dense_out, [pooled[t][idx] for t in range(num_tables)]
+                )
+                logits = self.top_mlp.forward(interaction).reshape(-1)
+                labels = batch.labels[idx]
+                loss = float(bce_with_logits(logits, labels, reduction="sum"))
+                grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
+                if normalizer is not None:
+                    grad_logits = grad_logits / normalizer
+                grad_interaction = self.top_mlp.backward(grad_logits.reshape(-1, 1))
+                grad_dense, grad_sparse = dot_interaction_backward(grad_interaction, cache)
+                self.bottom_mlp.backward(grad_dense)
+                for t in range(num_tables):
+                    grad_pooled[t].append(grad_sparse[t])
+                losses.append(loss)
+                if after_segment is not None:
+                    after_segment(s, loss)
+        self.last_dense_time_s = perf_counter() - dense_start
         pooling = batch.pooling
         if self.stacked is not None:
             # Cross-table fusion: ONE segmented scatter for every table's
@@ -263,6 +296,55 @@ class DLRM:
             for t, table in enumerate(self.tables)
         ]
         return losses, sparse_grads
+
+    def _packed_dense_pass(
+        self, batch, segments, normalizer, after_segment, pooled
+    ) -> tuple[list[float], list[list[np.ndarray]]]:
+        """Segment-packed dense pass — one GEMM per layer per *step*.
+
+        Packs the segments into one contiguous block (rows in segment
+        order), runs both MLPs and the interaction once over it, recovers
+        per-segment losses and logit gradients by row slicing, and folds
+        per-segment ``grad_weight`` partials in segment order — every
+        value bit-identical to the sequential loop (see
+        :mod:`repro.nn.gemm` for the contract and the per-shape
+        certification that backs it).
+        """
+        num_tables = len(self.tables)
+        perm = segments[0] if len(segments) == 1 else np.concatenate(segments)
+        bounds = segment_bounds(segments)
+        dense_out = self._packed_bottom.forward(batch.dense[perm], bounds)
+        interaction, cache = dot_interaction(
+            dense_out, [pooled[t][perm] for t in range(num_tables)]
+        )
+        logits = self._packed_top.forward(interaction, bounds).reshape(-1)
+        labels = batch.labels[perm]
+        losses: list[float] = []
+        grad_logits = np.empty_like(logits)
+        for lo, hi in bounds:
+            losses.append(
+                float(bce_with_logits(logits[lo:hi], labels[lo:hi], reduction="sum"))
+            )
+            seg_grad = bce_with_logits_backward(
+                logits[lo:hi], labels[lo:hi], reduction="sum"
+            )
+            if normalizer is not None:
+                seg_grad = seg_grad / normalizer
+            grad_logits[lo:hi] = seg_grad
+        grad_interaction = self._packed_top.backward(grad_logits.reshape(-1, 1), bounds)
+        grad_dense, grad_sparse = dot_interaction_backward(grad_interaction, cache)
+        # The bottom MLP's input gradient is discarded by every caller —
+        # the packed path skips that (dead) first-layer GEMM entirely.
+        self._packed_bottom.backward(grad_dense, bounds, need_input_grad=False)
+        grad_pooled: list[list[np.ndarray]] = [[] for _ in range(num_tables)]
+        for s, (lo, hi) in enumerate(bounds):
+            self._packed_top.accumulate_segment(lo, hi)
+            self._packed_bottom.accumulate_segment(lo, hi)
+            for t in range(num_tables):
+                grad_pooled[t].append(grad_sparse[t][lo:hi])
+            if after_segment is not None:
+                after_segment(s, losses[s])
+        return losses, grad_pooled
 
     def predict(self, batch: MiniBatch) -> np.ndarray:
         """Predicted click probabilities for a batch."""

@@ -15,11 +15,14 @@ Zipf-skewed item accesses — while remaining trainable in numpy.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.data.batch import MiniBatch
 from repro.models.configs import ModelConfig
 from repro.nn.attention import DotProductAttention
+from repro.nn.gemm import PackedMLP, segment_bounds
 from repro.nn.embedding import (
     EmbeddingBag,
     SparseGradient,
@@ -35,14 +38,23 @@ from repro.nn.mlp import MLP
 class TBSM:
     """Trainable TBSM instance for a given :class:`ModelConfig`."""
 
-    def __init__(self, config: ModelConfig, seed: int = 0, stacked: bool = False):
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        stacked: bool = False,
+        batched: bool = True,
+    ):
         """Build the model.
 
         ``stacked`` adopts every table (history included) into one
         :class:`~repro.nn.embedding.StackedEmbeddingStore`, so the fused
         µ-batch path pays one gather and one segmented scatter per *step*;
         bit-identical to per-table storage (see
-        :class:`~repro.models.dlrm.DLRM`).
+        :class:`~repro.models.dlrm.DLRM`).  ``batched`` runs the fused
+        dense pass (MLPs, attention, loss) over one segment-packed block —
+        bit-identical to the retained sequential per-segment loop (the
+        :mod:`repro.nn.gemm` contract).
         """
         if not config.uses_attention:
             raise ValueError("TBSM requires a configuration with uses_attention=True")
@@ -68,6 +80,12 @@ class TBSM:
             StackedEmbeddingStore(self.tables) if stacked else None
         )
         self._cache: dict | None = None
+        self.batched = batched
+        self._packed_bottom = PackedMLP(self.bottom_mlp)
+        self._packed_top = PackedMLP(self.top_mlp)
+        #: Measured wall seconds of the last fused step's dense section
+        #: (MLPs + attention + loss; gathers/scatter excluded).
+        self.last_dense_time_s = 0.0
 
     def forward(self, batch: MiniBatch) -> np.ndarray:
         """Compute CTR logits, shape (batch,)."""
@@ -202,40 +220,52 @@ class TBSM:
                 t: self.tables[t].forward(batch.sparse[:, t, :])
                 for t in range(1, num_tables)
             }
-        losses: list[float] = []
-        #: Allocated at the first segment's backward so the buffer matches
-        #: the gradient dtype (float32 models stay float32 end-to-end).
-        history_grad_all: np.ndarray | None = None
-        grad_pooled: dict[int, list[np.ndarray]] = {t: [] for t in range(1, num_tables)}
-        for s, idx in enumerate(segments):
-            dense_out = self.bottom_mlp.forward(batch.dense[idx])
-            context = self.attention.forward(dense_out, sequence_all[idx])
-            other_outputs = [pooled[t][idx] for t in range(1, num_tables)]
-            features = np.concatenate([context, dense_out] + other_outputs, axis=1)
-            logits = self.top_mlp.forward(features).reshape(-1)
-            labels = batch.labels[idx]
-            loss = float(bce_with_logits(logits, labels, reduction="sum"))
-            grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
-            if normalizer is not None:
-                grad_logits = grad_logits / normalizer
-            grad_features = self.top_mlp.backward(grad_logits.reshape(-1, 1))
-            grad_context = grad_features[:, :dim]
-            grad_dense_direct = grad_features[:, dim : 2 * dim]
-            grad_other = grad_features[:, 2 * dim :]
-            grad_query, grad_sequence = self.attention.backward(grad_context)
-            self.bottom_mlp.backward(grad_query + grad_dense_direct)
-            if history_grad_all is None:
-                history_grad_all = np.empty(
-                    (batch.size, steps, dim), dtype=grad_sequence.dtype
-                )
-            history_grad_all[idx] = grad_sequence
-            offset = 0
-            for t in range(1, num_tables):
-                grad_pooled[t].append(grad_other[:, offset : offset + dim])
-                offset += dim
-            losses.append(loss)
-            if after_segment is not None:
-                after_segment(s, loss)
+        dense_start = perf_counter()
+        if (
+            self.batched
+            and self._packed_bottom.supported
+            and self._packed_top.supported
+        ):
+            losses, history_grad_all, grad_pooled = self._packed_dense_pass(
+                batch, segments, normalizer, after_segment, sequence_all, pooled
+            )
+        else:
+            losses = []
+            #: Allocated at the first segment's backward so the buffer
+            #: matches the gradient dtype (float32 models stay float32
+            #: end-to-end).
+            history_grad_all = None
+            grad_pooled = {t: [] for t in range(1, num_tables)}
+            for s, idx in enumerate(segments):
+                dense_out = self.bottom_mlp.forward(batch.dense[idx])
+                context = self.attention.forward(dense_out, sequence_all[idx])
+                other_outputs = [pooled[t][idx] for t in range(1, num_tables)]
+                features = np.concatenate([context, dense_out] + other_outputs, axis=1)
+                logits = self.top_mlp.forward(features).reshape(-1)
+                labels = batch.labels[idx]
+                loss = float(bce_with_logits(logits, labels, reduction="sum"))
+                grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
+                if normalizer is not None:
+                    grad_logits = grad_logits / normalizer
+                grad_features = self.top_mlp.backward(grad_logits.reshape(-1, 1))
+                grad_context = grad_features[:, :dim]
+                grad_dense_direct = grad_features[:, dim : 2 * dim]
+                grad_other = grad_features[:, 2 * dim :]
+                grad_query, grad_sequence = self.attention.backward(grad_context)
+                self.bottom_mlp.backward(grad_query + grad_dense_direct)
+                if history_grad_all is None:
+                    history_grad_all = np.empty(
+                        (batch.size, steps, dim), dtype=grad_sequence.dtype
+                    )
+                history_grad_all[idx] = grad_sequence
+                offset = 0
+                for t in range(1, num_tables):
+                    grad_pooled[t].append(grad_other[:, offset : offset + dim])
+                    offset += dim
+                losses.append(loss)
+                if after_segment is not None:
+                    after_segment(s, loss)
+        self.last_dense_time_s = perf_counter() - dense_start
         if self.stacked is not None:
             # Cross-table fusion: ONE segmented scatter for the history
             # table's per-step gradients and every pooled table's repeated
@@ -281,6 +311,65 @@ class TBSM:
                 )
             )
         return losses, sparse_grads
+
+    def _packed_dense_pass(
+        self, batch, segments, normalizer, after_segment, sequence_all, pooled
+    ) -> tuple[list[float], np.ndarray, dict[int, list[np.ndarray]]]:
+        """Segment-packed dense pass (MLPs, attention, loss) for TBSM.
+
+        Same contract as :meth:`repro.models.dlrm.DLRM._packed_dense_pass`
+        — one GEMM per layer per step, per-segment quantities recovered by
+        row slicing, bit-identical to the sequential loop.  The attention
+        einsums and softmax are per-row, so they pack without
+        certification.
+        """
+        num_tables = len(self.tables)
+        dim = self.config.embedding_dim
+        steps = batch.sparse.shape[2]
+        perm = segments[0] if len(segments) == 1 else np.concatenate(segments)
+        bounds = segment_bounds(segments)
+        dense_out = self._packed_bottom.forward(batch.dense[perm], bounds)
+        context = self.attention.forward(dense_out, sequence_all[perm])
+        other_outputs = [pooled[t][perm] for t in range(1, num_tables)]
+        features = np.concatenate([context, dense_out] + other_outputs, axis=1)
+        logits = self._packed_top.forward(features, bounds).reshape(-1)
+        labels = batch.labels[perm]
+        losses: list[float] = []
+        grad_logits = np.empty_like(logits)
+        for lo, hi in bounds:
+            losses.append(
+                float(bce_with_logits(logits[lo:hi], labels[lo:hi], reduction="sum"))
+            )
+            seg_grad = bce_with_logits_backward(
+                logits[lo:hi], labels[lo:hi], reduction="sum"
+            )
+            if normalizer is not None:
+                seg_grad = seg_grad / normalizer
+            grad_logits[lo:hi] = seg_grad
+        grad_features = self._packed_top.backward(grad_logits.reshape(-1, 1), bounds)
+        grad_context = grad_features[:, :dim]
+        grad_dense_direct = grad_features[:, dim : 2 * dim]
+        grad_other = grad_features[:, 2 * dim :]
+        grad_query, grad_sequence = self.attention.backward(grad_context)
+        # The bottom MLP's input gradient is discarded — skip its GEMM.
+        self._packed_bottom.backward(
+            grad_query + grad_dense_direct, bounds, need_input_grad=False
+        )
+        history_grad_all = np.empty(
+            (batch.size, steps, dim), dtype=grad_sequence.dtype
+        )
+        history_grad_all[perm] = grad_sequence
+        grad_pooled: dict[int, list[np.ndarray]] = {t: [] for t in range(1, num_tables)}
+        for s, (lo, hi) in enumerate(bounds):
+            self._packed_top.accumulate_segment(lo, hi)
+            self._packed_bottom.accumulate_segment(lo, hi)
+            offset = 0
+            for t in range(1, num_tables):
+                grad_pooled[t].append(grad_other[lo:hi, offset : offset + dim])
+                offset += dim
+            if after_segment is not None:
+                after_segment(s, losses[s])
+        return losses, history_grad_all, grad_pooled
 
     def predict(self, batch: MiniBatch) -> np.ndarray:
         """Predicted click probabilities for a batch."""

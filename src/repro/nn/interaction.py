@@ -10,6 +10,19 @@ from __future__ import annotations
 
 import numpy as np
 
+#: ``np.tril_indices(f, k=-1)`` per feature count — the pair index arrays
+#: are a function of the feature count alone, so every step reuses them
+#: instead of rebuilding two index arrays per interaction call.
+_TRIL_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _tril_pairs(num_features: int) -> tuple[np.ndarray, np.ndarray]:
+    pairs = _TRIL_CACHE.get(num_features)
+    if pairs is None:
+        pairs = np.tril_indices(num_features, k=-1)
+        _TRIL_CACHE[num_features] = pairs
+    return pairs
+
 
 def dot_interaction(dense: np.ndarray, sparse: list[np.ndarray]) -> tuple[np.ndarray, dict]:
     """Pairwise dot-product interaction.
@@ -26,7 +39,7 @@ def dot_interaction(dense: np.ndarray, sparse: list[np.ndarray]) -> tuple[np.nda
     stacked = np.stack(features, axis=1)  # (batch, f, dim)
     gram = np.einsum("bfd,bgd->bfg", stacked, stacked)  # (batch, f, f)
     num_features = stacked.shape[1]
-    rows, cols = np.tril_indices(num_features, k=-1)
+    rows, cols = _tril_pairs(num_features)
     interactions = gram[:, rows, cols]  # (batch, n_pairs)
     output = np.concatenate([dense, interactions], axis=1)
     cache = {"stacked": stacked, "rows": rows, "cols": cols, "dense_dim": dense.shape[1]}

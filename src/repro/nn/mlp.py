@@ -27,6 +27,7 @@ class MLP:
         if len(layer_sizes) < 2:
             raise ValueError("an MLP needs at least an input and an output size")
         self.layer_sizes = list(layer_sizes)
+        self.sigmoid_output = sigmoid_output
         self.layers: list = []
         for i, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:], strict=True)):
             self.layers.append(Linear(fan_in, fan_out, rng))
@@ -77,8 +78,20 @@ class MLP:
 
     @property
     def flops_per_sample(self) -> float:
-        """Multiply-accumulate FLOPs for one forward pass of one sample."""
+        """FLOPs for one forward pass of one sample.
+
+        Counts the multiply-accumulates of every ``Linear`` (``2*in*out``)
+        *plus* its bias add (``out``) and the element-wise activation that
+        follows it (``out`` per hidden ReLU, and per sigmoid output when
+        present) — the bias/activation terms the perf model's dense times
+        were silently missing when this counted MACs only.
+        """
         flops = 0.0
-        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:], strict=True):
-            flops += 2.0 * fan_in * fan_out
+        last = len(self.layer_sizes) - 2
+        for i, (fan_in, fan_out) in enumerate(
+            zip(self.layer_sizes[:-1], self.layer_sizes[1:], strict=True)
+        ):
+            flops += 2.0 * fan_in * fan_out + fan_out  # MACs + bias add
+            if i != last or self.sigmoid_output:
+                flops += fan_out  # activation
         return flops

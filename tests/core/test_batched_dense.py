@@ -1,0 +1,311 @@
+"""Bit-parity grid for the batched dense path (PR 7).
+
+The segment-packed dense pass (:mod:`repro.nn.gemm`) and the sharded
+trainer's replica-stacked sync GEMMs both claim *bit*-identity with the
+retained sequential path.  This grid proves it:
+
+* ``fused_loss_and_gradients`` batched-vs-sequential on DLRM and TBSM,
+  across {stacked, per-table} embedding stores and segment shapes
+  {whole batch, contiguous halves, popular/non-popular-style interleaved
+  partition, segments below the certification threshold} — comparing
+  losses, every dense gradient, every sparse gradient, and the
+  ``after_segment`` per-segment partial snapshots the sharded trainer
+  depends on.
+* A real RM2-width DLRM (K=512 hidden layers), where the OpenBLAS
+  small-matrix kernel actually diverges from the blocked path and the
+  per-shape certification (:func:`repro.nn.gemm.packed_rows_threshold`)
+  has to route individual layers to their per-segment fallback.
+* Replica-stacked vs per-replica sync training at K ∈ {1, 2, 4}:
+  bitwise-equal losses, final parameters, and zero replica drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import ShardedHotlineTrainer
+from repro.data import generate_click_log
+from repro.data.loader import MiniBatchLoader
+from repro.models import RM2
+from repro.models.dlrm import DLRM
+from repro.models.tbsm import TBSM
+from repro.nn.gemm import NEVER_PACKED, PackedMLP, packed_rows_threshold, segment_bounds
+from repro.nn.mlp import MLP
+
+
+def whole(batch_size):
+    return [np.arange(batch_size)]
+
+
+def halves(batch_size):
+    half = batch_size // 2
+    return [np.arange(0, half), np.arange(half, batch_size)]
+
+
+def interleaved(batch_size):
+    """Popular/non-popular shape: two ascending, interleaved index sets."""
+    idx = np.arange(batch_size)
+    return [idx[idx % 3 == 0], idx[idx % 3 != 0]]
+
+
+def tiny_segments(batch_size):
+    """Segments below any GEMM certification threshold (fallback path)."""
+    return [np.arange(0, 2), np.arange(2, 3), np.arange(3, batch_size)]
+
+
+SEGMENT_GRIDS = {
+    "whole": whole,
+    "halves": halves,
+    "interleaved": interleaved,
+    "tiny": tiny_segments,
+}
+
+
+def run_dense_pass(model, batch, segments):
+    """Losses, sparse grads, dense grads, and per-segment partials."""
+    model.zero_grad()
+    partials = []
+
+    def snapshot(_segment, _loss):
+        partials.append(
+            np.concatenate([g.ravel().copy() for _p, g in model.dense_parameters()])
+        )
+
+    losses, table_grads = model.fused_loss_and_gradients(
+        batch, segments, normalizer=batch.size, after_segment=snapshot
+    )
+    dense = [g.copy() for _p, g in model.dense_parameters()]
+    return losses, table_grads, dense, partials
+
+
+def assert_bitwise_equal_pass(model_seq, model_packed, batch, segments):
+    seq = run_dense_pass(model_seq, batch, segments)
+    packed = run_dense_pass(model_packed, batch, segments)
+    assert packed[0] == seq[0], "per-segment losses diverged"
+    for table, (grads_seq, grads_packed) in enumerate(zip(seq[1], packed[1])):
+        for seg, (gs, gp) in enumerate(zip(grads_seq, grads_packed, strict=True)):
+            np.testing.assert_array_equal(
+                gp.indices, gs.indices, err_msg=f"table {table} segment {seg} indices"
+            )
+            np.testing.assert_array_equal(
+                gp.values, gs.values, err_msg=f"table {table} segment {seg} values"
+            )
+    for i, (gs, gp) in enumerate(zip(seq[2], packed[2], strict=True)):
+        np.testing.assert_array_equal(gp, gs, err_msg=f"dense grad {i}")
+    assert len(packed[3]) == len(seq[3]) == len(segments)
+    for seg, (ps, pp) in enumerate(zip(seq[3], packed[3])):
+        np.testing.assert_array_equal(
+            pp, ps, err_msg=f"after_segment partial {seg}"
+        )
+
+
+@pytest.mark.parametrize("stacked", [False, True], ids=["per-table", "stacked"])
+@pytest.mark.parametrize("grid", sorted(SEGMENT_GRIDS), ids=sorted(SEGMENT_GRIDS))
+def test_dlrm_batched_matches_sequential(tiny_model_config, tiny_click_log, stacked, grid):
+    batch = tiny_click_log.batch(0, 128)
+    segments = SEGMENT_GRIDS[grid](batch.size)
+    assert_bitwise_equal_pass(
+        DLRM(tiny_model_config, seed=3, stacked=stacked, batched=False),
+        DLRM(tiny_model_config, seed=3, stacked=stacked, batched=True),
+        batch,
+        segments,
+    )
+
+
+@pytest.mark.parametrize("stacked", [False, True], ids=["per-table", "stacked"])
+@pytest.mark.parametrize("grid", sorted(SEGMENT_GRIDS), ids=sorted(SEGMENT_GRIDS))
+def test_tbsm_batched_matches_sequential(
+    tiny_ts_model_config, tiny_ts_click_log, stacked, grid
+):
+    batch = tiny_ts_click_log.batch(0, 128)
+    segments = SEGMENT_GRIDS[grid](batch.size)
+    assert_bitwise_equal_pass(
+        TBSM(tiny_ts_model_config, seed=3, stacked=stacked, batched=False),
+        TBSM(tiny_ts_model_config, seed=3, stacked=stacked, batched=True),
+        batch,
+        segments,
+    )
+
+
+@pytest.mark.parametrize("grid", sorted(SEGMENT_GRIDS), ids=sorted(SEGMENT_GRIDS))
+def test_rm2_width_dlrm_batched_matches_sequential(grid):
+    """Real RM2 MLP widths (K=512): certification must route the unstable
+    GEMM shapes per-segment and still reproduce the sequential bits."""
+    config = RM2.scaled(max_rows_per_table=600, samples_per_epoch=512)
+    log = generate_click_log(config.dataset, 512, seed=17)
+    batch = log.batch(0, 256)
+    segments = SEGMENT_GRIDS[grid](batch.size)
+    assert_bitwise_equal_pass(
+        DLRM(config, seed=5, batched=False),
+        DLRM(config, seed=5, batched=True),
+        batch,
+        segments,
+    )
+
+
+def test_packed_pass_is_deterministic_across_block_heights(tiny_model_config, tiny_click_log):
+    """The same segment trained alone or packed with others yields the
+    same bits — the certification's two-heights guarantee, end to end."""
+    batch = tiny_click_log.batch(0, 128)
+    model = DLRM(tiny_model_config, seed=3, batched=True)
+    losses_whole, _, dense_whole, _ = run_dense_pass(model, batch, whole(batch.size))
+    losses_again, _, dense_again, _ = run_dense_pass(model, batch, whole(batch.size))
+    assert losses_whole == losses_again
+    for a, b in zip(dense_whole, dense_again, strict=True):
+        np.testing.assert_array_equal(a, b)
+
+
+# --------------------------------------------------------------------- #
+# Replica-stacked sync GEMMs
+# --------------------------------------------------------------------- #
+def run_sharded(config, log, num_shards, *, batched, dense_batching, steps=6):
+    trainer = ShardedHotlineTrainer(
+        DLRM(config, seed=9, batched=batched),
+        num_shards,
+        lr=0.1,
+        sample_fraction=0.25,
+        dense_batching=dense_batching,
+    )
+    loader = MiniBatchLoader(log, batch_size=128)
+    trainer.bind(loader)
+    losses = [trainer.run_step(batch).loss for batch in list(loader)[:steps]]
+    return trainer, losses
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_replica_stacked_matches_per_replica(
+    tiny_model_config, tiny_click_log, num_shards
+):
+    """Stacking K sync replicas into one GEMM changes no observable bit."""
+    baseline, losses_ref = run_sharded(
+        tiny_model_config, tiny_click_log, num_shards,
+        batched=False, dense_batching="per-replica",
+    )
+    stacked, losses_stacked = run_sharded(
+        tiny_model_config, tiny_click_log, num_shards,
+        batched=True, dense_batching="replica",
+    )
+    assert losses_stacked == losses_ref
+    assert stacked.replica_drift() == 0.0
+    for replica_ref, replica_stacked in zip(
+        baseline.replicas, stacked.replicas, strict=True
+    ):
+        state_ref = replica_ref.model.state_snapshot()
+        state_stacked = replica_stacked.model.state_snapshot()
+        for key, value in state_ref.items():
+            np.testing.assert_array_equal(state_stacked[key], value, err_msg=key)
+
+
+def test_replica_stacking_requires_sync_mode(tiny_model_config):
+    with pytest.raises(ValueError, match="dense_batching"):
+        ShardedHotlineTrainer(
+            DLRM(tiny_model_config, seed=9), 2, dense_batching="global"
+        )
+
+
+def test_stale_mode_falls_back_per_replica(tiny_model_config, tiny_click_log):
+    """stale-k weights diverge, so the stacked dispatch must not engage —
+    the run must match the per-replica dense path bit for bit."""
+    stale_default, losses_default = run_sharded_stale(
+        tiny_model_config, tiny_click_log, dense_batching="replica"
+    )
+    stale_off, losses_off = run_sharded_stale(
+        tiny_model_config, tiny_click_log, dense_batching="per-replica"
+    )
+    assert losses_default == losses_off
+    state_a = stale_default.replicas[0].model.state_snapshot()
+    state_b = stale_off.replicas[0].model.state_snapshot()
+    for key, value in state_a.items():
+        np.testing.assert_array_equal(state_b[key], value, err_msg=key)
+
+
+def run_sharded_stale(config, log, *, dense_batching, steps=6):
+    trainer = ShardedHotlineTrainer(
+        DLRM(config, seed=9, batched=True),
+        2,
+        lr=0.1,
+        sample_fraction=0.25,
+        mode="stale-1",
+        dense_batching=dense_batching,
+    )
+    loader = MiniBatchLoader(log, batch_size=128)
+    trainer.bind(loader)
+    losses = [trainer.run_step(batch).loss for batch in list(loader)[:steps]]
+    return trainer, losses
+
+
+# --------------------------------------------------------------------- #
+# Kernel-layer units
+# --------------------------------------------------------------------- #
+def test_packed_rows_threshold_is_cached_and_sane():
+    first = packed_rows_threshold(16, 64)
+    again = packed_rows_threshold(16, 64)
+    assert first == again
+    assert first >= 2
+    transposed = packed_rows_threshold(16, 64, transposed=True)
+    assert transposed >= 2
+    assert NEVER_PACKED > 1 << 20
+
+
+def test_segment_bounds_partition_in_order():
+    segments = [np.array([0, 2, 4]), np.array([1, 3]), np.array([5])]
+    assert segment_bounds(segments) == [(0, 3), (3, 5), (5, 6)]
+
+
+def test_packed_mlp_rejects_sigmoid_output(rng):
+    assert not PackedMLP(MLP([4, 8, 2], rng, sigmoid_output=True)).supported
+    assert PackedMLP(MLP([4, 8, 2], rng)).supported
+
+
+def test_dense_time_split_is_populated(tiny_model_config, tiny_click_log):
+    """StepOutcome/TrainingResult surface the measured dense-time share."""
+    from repro.core.pipeline import HotlineTrainer
+
+    trainer = HotlineTrainer(
+        DLRM(tiny_model_config, seed=9), lr=0.05, sample_fraction=0.25
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    trainer.bind(loader)
+    outcome = trainer.run_step(tiny_click_log.batch(0, 128))
+    assert outcome.dense_time_s > 0.0
+    result = trainer.train(loader, epochs=1)
+    assert result.dense_time_s > 0.0
+
+
+def test_sharded_dense_time_split_is_populated(tiny_model_config, tiny_click_log):
+    trainer = ShardedHotlineTrainer(
+        DLRM(tiny_model_config, seed=9), 2, lr=0.05, sample_fraction=0.25
+    )
+    loader = MiniBatchLoader(tiny_click_log, batch_size=128)
+    trainer.bind(loader)
+    outcome = trainer.run_step(tiny_click_log.batch(0, 128))
+    assert outcome.dense_time_s > 0.0
+
+
+# --------------------------------------------------------------------- #
+# FLOP accounting (satellite bugfix)
+# --------------------------------------------------------------------- #
+def test_config_mlp_flops_count_bias_and_activation():
+    """RM2 arch strings (bottom 13-512-256-64-16, top 512-256-1), by hand:
+    2*in*out MACs + out bias adds per layer, + out ReLU ops per hidden."""
+    bottom = (
+        (2 * 13 * 512 + 512 + 512)
+        + (2 * 512 * 256 + 256 + 256)
+        + (2 * 256 * 64 + 64 + 64)
+        + (2 * 64 * 16 + 16)
+    )
+    top = (2 * 512 * 256 + 256 + 256) + (2 * 256 * 1 + 1)
+    assert RM2.mlp_flops_per_sample == bottom + top
+
+
+def test_model_flops_match_actual_layer_sizes(tiny_model_config):
+    """The model's MLPs count their *actual* widths (the top MLP's input
+    is the interaction output, wider than the config's arch string)."""
+    model = DLRM(tiny_model_config, seed=0)
+    for mlp in (model.bottom_mlp, model.top_mlp):
+        sizes = mlp.layer_sizes
+        expected = 0.0
+        for i, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:], strict=True)):
+            expected += 2.0 * fan_in * fan_out + fan_out
+            if i != len(sizes) - 2:
+                expected += fan_out
+        assert mlp.flops_per_sample == expected

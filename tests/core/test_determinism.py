@@ -106,6 +106,46 @@ def test_parallel_workers_deterministic_with_prefetch_and_shuffle(
     )
 
 
+def test_replica_stacked_dense_is_seed_deterministic(tiny_model_config, tiny_click_log):
+    """The replica-stacked sync dense path (PR 7 default) is repeatable."""
+    assert_identical_runs(
+        lambda: ShardedHotlineTrainer(
+            DLRM(tiny_model_config, seed=9, batched=True), 2,
+            lr=0.05, sample_fraction=0.25, dense_batching="replica",
+        ),
+        tiny_click_log,
+    )
+
+
+def test_dense_batching_modes_produce_identical_runs(tiny_model_config, tiny_click_log):
+    """Replica-stacked, per-replica batched, and PR 6 sequential dense
+    paths all reproduce the same bits end-to-end (losses, metrics, every
+    parameter) — the batching knobs change the schedule, never the math."""
+    runs = {
+        "stacked": lambda: ShardedHotlineTrainer(
+            DLRM(tiny_model_config, seed=9, batched=True), 2,
+            lr=0.05, sample_fraction=0.25, dense_batching="replica",
+        ),
+        "per-replica": lambda: ShardedHotlineTrainer(
+            DLRM(tiny_model_config, seed=9, batched=True), 2,
+            lr=0.05, sample_fraction=0.25, dense_batching="per-replica",
+        ),
+        "sequential": lambda: ShardedHotlineTrainer(
+            DLRM(tiny_model_config, seed=9, batched=False), 2,
+            lr=0.05, sample_fraction=0.25, dense_batching="per-replica",
+        ),
+    }
+    results = {name: _run(make, tiny_click_log) for name, make in runs.items()}
+    reference, reference_state = results["sequential"]
+    for name, (result, state) in results.items():
+        assert result.losses == reference.losses, name
+        assert result.final_metrics == reference.final_metrics, name
+        for key in reference_state:
+            np.testing.assert_array_equal(
+                state[key], reference_state[key], err_msg=f"{name}: {key}"
+            )
+
+
 def test_stale_mode_is_seed_deterministic(tiny_model_config, tiny_click_log):
     """Staleness delays the dense update but stays perfectly repeatable."""
     assert_identical_runs(

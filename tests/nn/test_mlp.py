@@ -59,8 +59,15 @@ def test_mlp_parameter_count(rng):
 
 
 def test_mlp_flops_per_sample(rng):
+    # Per layer: 2*fan_in*fan_out MACs + fan_out bias adds, plus fan_out
+    # activation ops for every non-final layer (ReLU).
     mlp = MLP([4, 8, 2], rng)
-    assert mlp.flops_per_sample == 2 * (4 * 8 + 8 * 2)
+    assert mlp.flops_per_sample == (2 * 4 * 8 + 8 + 8) + (2 * 8 * 2 + 2)
+
+
+def test_mlp_flops_per_sample_counts_output_sigmoid(rng):
+    mlp = MLP([4, 8, 2], rng, sigmoid_output=True)
+    assert mlp.flops_per_sample == (2 * 4 * 8 + 8 + 8) + (2 * 8 * 2 + 2 + 2)
 
 
 def test_mlp_zero_grad_resets_all_layers(rng):
