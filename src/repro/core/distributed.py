@@ -82,14 +82,22 @@ from repro.baselines.base import ExecutionModel
 from repro.core.accelerator import HotlineAccelerator
 from repro.core.classifier import split_minibatch
 from repro.core.engine import StepExecutor, StepOutcome, TrainingEngine, TrainingResult
-from repro.core.lookahead import CachedEmbeddingPipeline, epoch_row_stream
+from repro.core.lookahead import (
+    CachedEmbeddingPipeline,
+    epoch_row_stream,
+    shard_epoch_row_stream,
+)
 from repro.core.placement import EmbeddingPlacement, PartitionedEmbeddingPlacement
 from repro.core.reducer import GradientBucketReducer, SparseGradientExchange
 from repro.data.batch import MiniBatch
 from repro.data.loader import MiniBatchLoader
 from repro.hwsim.cluster import Cluster, single_node
 from repro.hwsim.collectives import embedding_alltoall_time
-from repro.nn.embedding import SparseGradient, merge_sparse_gradients
+from repro.nn.embedding import (
+    SparseGradient,
+    TieredEmbeddingStore,
+    merge_sparse_gradients,
+)
 
 
 @dataclass
@@ -392,6 +400,28 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             exchange see identical ordered partial lists — bit-identical
             numerics for any worker count (the parity suite sweeps K ×
             workers).  ``1`` (default) keeps the sequential in-thread loop.
+        per_shard_lookahead: Give each replica its own *accounting*
+            lookahead cache keyed to its contiguous shard slice of every
+            batch (:func:`~repro.core.lookahead.shard_epoch_row_stream`),
+            so per-GPU cache capacity and fill traffic differentiate by
+            shard — skewed shards fill more.  The per-shard pipelines
+            price the fills (each shard fills its own cache in parallel,
+            so the step charges the slowest shard); the global pipeline
+            keeps owning the deferral *numerics* but stops pricing fills
+            (``price_fills=False``) so no fill is charged twice.
+            Requires ``lookahead_window > 0``.
+        tiered_hot_bytes: Front every replica's embedding tables with one
+            shared :class:`~repro.nn.embedding.TieredEmbeddingStore` of
+            this byte capacity (``None`` disables tiering).  The tier is
+            built at :meth:`bind`: the learning-phase placement's hot rows
+            are pinned resident (they replicate on every device), every
+            lookup resolves through the tier (bit-identical numerics —
+            pricing and hit/miss/eviction counters only), and LFU
+            eviction keeps the resident set within capacity.  Tier
+            counters surface through
+            :class:`~repro.core.engine.StepOutcome`.  Note the tier hooks
+            :meth:`~repro.nn.embedding.EmbeddingBag.forward`; models
+            driving a stacked store's fused gather directly bypass it.
     """
 
     def __init__(
@@ -415,6 +445,8 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         pending_store: str = "flat",
         parallel_workers: int = 1,
         dense_batching: str = "replica",
+        per_shard_lookahead: bool = False,
+        tiered_hot_bytes: float | None = None,
     ):
         super().__init__(
             model,
@@ -452,9 +484,13 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         )
         if lookahead_window < 0:
             raise ValueError("lookahead_window must be >= 0")
+        if per_shard_lookahead and lookahead_window <= 0:
+            raise ValueError("per_shard_lookahead requires lookahead_window > 0")
         self.fused = fused
         #: Optional BagPipe-style cached-embedding lookahead pipeline.
         self.lookahead: CachedEmbeddingPipeline | None = None
+        #: Per-shard accounting pipelines (empty unless per_shard_lookahead).
+        self.shard_lookaheads: list[CachedEmbeddingPipeline] = []
         if lookahead_window > 0:
             self.lookahead = CachedEmbeddingPipeline(
                 tuple(config.dataset.rows_per_table),
@@ -469,7 +505,32 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
                 num_replicas=num_shards if partition_embeddings else 1,
                 link=self._fill_link(),
                 pending_store=pending_store,
+                # With per-shard caches the fills are priced per shard
+                # slice below; the global pipeline keeps the deferral
+                # numerics but must not charge the same fill again.
+                price_fills=not per_shard_lookahead,
             )
+            if per_shard_lookahead:
+                self.shard_lookaheads = [
+                    CachedEmbeddingPipeline(
+                        tuple(config.dataset.rows_per_table),
+                        window=lookahead_window,
+                        staleness=0,  # accounting-only: never defers
+                        row_bytes=config.embedding_dim * config.dtype_bytes,
+                        num_replicas=num_shards if partition_embeddings else 1,
+                        link=self._fill_link(),
+                        pending_store=pending_store,
+                    )
+                    for _ in range(num_shards)
+                ]
+        if tiered_hot_bytes is not None and tiered_hot_bytes < 0:
+            raise ValueError("tiered_hot_bytes must be >= 0 (or None to disable)")
+        #: Byte capacity of the hot embedding tier (None = no tiering).
+        self.tiered_hot_bytes = tiered_hot_bytes
+        #: The shared hot/cold tier, built at bind() from the placements.
+        self.tier: TieredEmbeddingStore | None = None
+        #: Tier counters at the end of the previous step (delta tracking).
+        self._tier_seen = (0, 0, 0)
         #: Reduced dense gradients in flight (``stale-k``: a k-deep deque —
         #: the gradient of step t is applied at step t + k).
         self._pending_dense: deque[np.ndarray | None] = deque()
@@ -563,6 +624,38 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         self._pending_dense.clear()
         if self.lookahead is not None:
             self.lookahead.reset()
+        for pipe in self.shard_lookaheads:
+            pipe.reset()
+        if self.tiered_hot_bytes is not None:
+            self._build_tier()
+
+    def _build_tier(self) -> None:
+        """(Re)build the shared hot/cold tier from the current placements.
+
+        Called at :meth:`bind` so the tier pins the hot rows the learning
+        phase just placed; rebinding rebuilds from scratch — fresh
+        counters, fresh residency — so a reused trainer never reports a
+        previous run's tier traffic (the counter-lifetime contract the
+        DMA regression suite pins for the lookahead path).  One tier is
+        shared by every replica's tables: it models one device's HBM
+        front (replicated hot rows are pinned once), and its lock keeps
+        the thread-pooled replica step safe.
+        """
+        config = self.model.config
+        self.tier = TieredEmbeddingStore(
+            tuple(config.dataset.rows_per_table),
+            config.embedding_dim,
+            hot_bytes=float(self.tiered_hot_bytes),
+            dtype_bytes=config.dtype_bytes,
+        )
+        placement = self.replicas[0].placement
+        if placement is not None:
+            for table, hot in enumerate(placement.hot_sets):
+                self.tier.pin_rows(table, hot)
+        for replica in self.replicas:
+            for table, bag in enumerate(replica.model.tables):
+                bag.attach_tier(self.tier, table)
+        self._tier_seen = (0, 0, 0)
 
     def _advance_lookahead(self, batch: MiniBatch) -> None:
         """Drive the cached pipeline's epoch window for one step.
@@ -593,9 +686,27 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             if carry is not None:
                 for replica in self.replicas:
                     replica.model.apply_sparse_updates(carry, self.lr)
+            for shard, pipe in enumerate(self.shard_lookaheads):
+                # Accounting-only pipelines (staleness 0, nothing ever
+                # deferred): the epoch carry is always None.
+                pipe.begin_epoch(
+                    shard_epoch_row_stream(self._bound_loader, shard, self.num_shards)
+                    if self._bound_loader is not None
+                    else None
+                )
             self._epoch_step = 0
         self._epoch_step += 1
         self.lookahead.observe(batch.sparse)
+        if self.shard_lookaheads:
+            # Each shard's cache windows its own contiguous slice — the
+            # same bounds arithmetic as MiniBatch.shards — so fill traffic
+            # and capacity differentiate by shard.  Empty slices still
+            # observe: every pipeline must advance its window every step.
+            size = batch.size
+            for shard, pipe in enumerate(self.shard_lookaheads):
+                lo = (shard * size) // self.num_shards
+                hi = ((shard + 1) * size) // self.num_shards
+                pipe.observe(batch.sparse[lo:hi])
 
     # ------------------------------------------------------------------ #
     # Acceleration phase
@@ -1002,6 +1113,9 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             communication_time_s=prefetch,
             stale_rows=stale_rows,
             prefetch_time_s=prefetch,
+            pending_bytes=(
+                self.lookahead.peak_pending_bytes if self.lookahead is not None else 0
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -1092,11 +1206,28 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         exposed = self.reducer.exposed_time(bucket_times, compute)
         stats = self.lookahead.last_stats if self.lookahead is not None else None
         prefetch = stats.prefetch_time_s if stats is not None else 0.0
+        if self.shard_lookaheads:
+            # K shards fill their caches in parallel: the step waits for
+            # the slowest shard's fills, on top of the global pipeline's
+            # (fill-unpriced) write-back traffic.
+            prefetch += max(
+                pipe.last_stats.prefetch_time_s for pipe in self.shard_lookaheads
+            )
         exposed_prefetch = max(0.0, prefetch - compute)
         lookup_alltoall = (
             0.0 if self.lookahead is not None
             else self.alltoall_time(self.last_remote_lookups)
         )
+        tier_hits = tier_misses = tier_evictions = 0
+        if self.tier is not None:
+            seen = self._tier_seen
+            now = (self.tier.hits, self.tier.misses, self.tier.evictions)
+            tier_hits, tier_misses, tier_evictions = (
+                now[0] - seen[0],
+                now[1] - seen[1],
+                now[2] - seen[2],
+            )
+            self._tier_seen = now
         return StepOutcome(
             loss=loss,
             popular_fraction=popular_fraction,
@@ -1110,4 +1241,10 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             prefetch_time_s=prefetch,
             replica_times_s=self.last_replica_times,
             dense_time_s=self.last_dense_time_s,
+            pending_bytes=(
+                self.lookahead.peak_pending_bytes if self.lookahead is not None else 0
+            ),
+            tier_hits=tier_hits,
+            tier_misses=tier_misses,
+            tier_evictions=tier_evictions,
         )

@@ -79,6 +79,16 @@ class TrainingResult:
         dense_time_s: Measured (host) wall-clock seconds of the fused
             dense sections across the run (all replicas) — the measured,
             not inferred, MLP/interaction share of the training walltime.
+        pending_peak_bytes: High-water mark of the lookahead pipeline's
+            deferred write-back store across the run (max over steps).
+            The window-bound invariant keeps this proportional to the
+            cached row set, never the table size; zero for executors
+            without a lookahead pipeline.
+        tier_hits: Lookups the hot/cold embedding tier served from its
+            resident rows across the run (tiered executors only).
+        tier_misses: Lookups the tier fetched from the cold host tier.
+        tier_evictions: Resident rows the tier evicted to stay within its
+            byte capacity.
         final_metrics: Final validation accuracy / AUC / log-loss.
     """
 
@@ -96,6 +106,10 @@ class TrainingResult:
     prefetch_time_s: float = 0.0
     replica_time_s: list[float] = field(default_factory=list)
     dense_time_s: float = 0.0
+    pending_peak_bytes: int = 0
+    tier_hits: int = 0
+    tier_misses: int = 0
+    tier_evictions: int = 0
     final_metrics: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -157,6 +171,15 @@ class StepOutcome:
             dense section (MLPs + interaction/attention + loss) took,
             summed over replicas — the directly-measured MLP share of the
             step (``0.0`` for executors without a fused dense pass).
+        pending_bytes: High-water mark of the lookahead pipeline's
+            deferred write-back store up to and including this step
+            (window-bounded: proportional to the cached row set, never
+            the table size).  Monotone within a run, so the result-level
+            max equals the run's true peak — intra-step peaks included.
+        tier_hits: Lookups the hot/cold embedding tier served from
+            resident rows this step (tiered executors only).
+        tier_misses: Lookups fetched from the cold host tier this step.
+        tier_evictions: Resident rows evicted for capacity this step.
     """
 
     loss: float
@@ -171,6 +194,10 @@ class StepOutcome:
     prefetch_time_s: float = 0.0
     replica_times_s: tuple[float, ...] = ()
     dense_time_s: float = 0.0
+    pending_bytes: int = 0
+    tier_hits: int = 0
+    tier_misses: int = 0
+    tier_evictions: int = 0
 
     @property
     def step_time_s(self) -> float:
@@ -360,6 +387,12 @@ class TrainingEngine:
                 result.stale_rows += outcome.stale_rows
                 result.prefetch_time_s += outcome.prefetch_time_s
                 result.dense_time_s += outcome.dense_time_s
+                result.pending_peak_bytes = max(
+                    result.pending_peak_bytes, outcome.pending_bytes
+                )
+                result.tier_hits += outcome.tier_hits
+                result.tier_misses += outcome.tier_misses
+                result.tier_evictions += outcome.tier_evictions
                 if outcome.replica_times_s:
                     if len(result.replica_time_s) < len(outcome.replica_times_s):
                         result.replica_time_s.extend(
@@ -393,6 +426,12 @@ class TrainingEngine:
             result.cache_fill_rows += drained.cache_fill_rows
             result.stale_rows += drained.stale_rows
             result.prefetch_time_s += drained.prefetch_time_s
+            result.pending_peak_bytes = max(
+                result.pending_peak_bytes, drained.pending_bytes
+            )
+            result.tier_hits += drained.tier_hits
+            result.tier_misses += drained.tier_misses
+            result.tier_evictions += drained.tier_evictions
         if eval_batch is not None:
             result.final_metrics = evaluate(self.executor.model, eval_batch)
             result.auc_history.append((iteration, result.final_metrics["auc"]))

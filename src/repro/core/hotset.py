@@ -276,6 +276,22 @@ class HotSetIndex:
         """Total number of hot rows across all tables."""
         return int(sum(hot.size for hot in self.hot_sets))
 
+    @property
+    def nbytes(self) -> int:
+        """Bookkeeping bytes: bitmaps plus materialised hot-set arrays.
+
+        The bitmaps are O(table) at one byte per row — the deliberate
+        trade the index makes for O(1) membership; the window-bounded
+        structures built *on top* of it (the lookahead pending store, the
+        tiered embedding store) keep their own footprint proportional to
+        the cached/resident row set, which this property lets accounting
+        code report separately.
+        """
+        return int(
+            sum(bitmap.nbytes for bitmap in self._bitmaps)
+            + sum(hot.nbytes for hot in self._hot_sets if hot is not None)
+        )
+
 
 def as_hot_set_index(
     hot_sets: Sequence[np.ndarray] | HotSetIndex,

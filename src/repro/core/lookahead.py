@@ -40,30 +40,48 @@ functional trainers:
   DRAM; evictions add the write-back DMA term.  Like the bucketed reducer,
   a pipeline built without a link prices everything at zero (numeric /
   accounting-only use).
-* **Flat pending store** — deferred write-backs live in a
-  :class:`FlatPendingStore`: per table, a dense ``(rows, dim)`` gradient
-  accumulation buffer, a pending bitmap (a
-  :class:`~repro.core.hotset.HotSetIndex` table, the same structure that
-  backs cache membership), and a parallel ``int32`` birth-step array.
-  ``defer`` is one ``np.add.at``; the age/eviction flush is boolean-mask
-  arithmetic; ``take`` is one gather + zero-fill — so the lookahead
-  machinery itself is constant-overhead (no O(nnz) interpreter loop), the
-  property BagPipe needs for the pipeline to win at Criteo-Terabyte table
-  scale.  The original dict-of-rows implementation survives as
-  :class:`ReferencePendingStore` (``pending_store="reference"``), the
-  ground truth of the bit-parity suite and the speedup benchmark.
+* **Window-bounded flat pending store** — deferred write-backs live in a
+  :class:`FlatPendingStore`: per table, a *compact* sorted array of the
+  pending row ids, a parallel slot array indirecting into a
+  geometrically-grown ``(capacity, dim)`` gradient slab, and a matching
+  birth-step slab.  ``defer`` is two binary searches plus one scatter;
+  the age/eviction flush is boolean-mask arithmetic over birth buckets;
+  ``take`` is one gather + zero-fill — so the lookahead machinery itself
+  is constant-overhead (no O(nnz) interpreter loop).  The original
+  dict-of-rows implementation survives as :class:`ReferencePendingStore`
+  (``pending_store="reference"``), the ground truth of the bit-parity
+  suite and the speedup benchmark.
+
+**The window-bound invariant.**  Only rows inside the ``W``-batch
+lookahead window can ever be pending: a row defers while it is cached and
+flushes no later than its eviction, so the pending set is a subset of the
+cached row set (plus, transiently, the retiring batch's rows).  The store
+exploits that: every structure it allocates — row ids, slot indirection,
+value slab, birth slab — is sized to the *deferred* row set and grown
+geometrically, never to the table.  ``rows_per_table`` only bounds id
+validity; a store over a 10M-row Criteo-Terabyte table with a 4-batch
+window allocates a few thousand rows, not 10 GB.  Slab capacity stays
+under 2x the peak pending row count (capacity only doubles when
+exceeded), :attr:`FlatPendingStore.pending_bytes` /
+:attr:`FlatPendingStore.peak_pending_bytes` expose the live and
+high-water footprint, and ``clear()`` / an emptying ``take_all()``
+**free** the slabs rather than zeroing them, so reset and epoch-carry
+paths release the memory they no longer need.
 
 **Invariants** (asserted by the parity/regression suites):
 
 1. Flushed gradients are bit-identical between the two stores: rows flush
    in sorted order and each row's value accumulates in arrival order.
 2. A row's birth step is set exactly when it first defers and cleared
-   exactly when it flushes; buffer, bitmap, and birth array always move
-   together (``reset``/``clear`` included), so no state survives a flush
-   or a trainer re-bind.
+   exactly when it flushes; row array, slot array, value slab, and birth
+   slab always move together (``reset``/``clear`` included), so no state
+   survives a flush or a trainer re-bind.
 3. Every deferred unit of gradient is applied exactly once — on eviction,
    at the staleness bound, at an epoch-boundary carry, or through the
    end-of-run :meth:`CachedEmbeddingPipeline.drain`.
+4. Peak allocated pending-store bytes are proportional to the cached row
+   set, never the table size (the footprint regression test drives a
+   10M-row table through a small window and pins it).
 """
 
 from __future__ import annotations
@@ -170,6 +188,20 @@ class ReferencePendingStore:
         """Deferred rows of one table."""
         return len(self._pending[table])
 
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes held by the dict store (value rows + per-row id/birth ints).
+
+        API symmetry with :attr:`FlatPendingStore.pending_bytes`; the dict
+        store is inherently window-bounded (it only ever holds deferred
+        rows), it just pays the interpreter for it.
+        """
+        total = 0
+        for pending in self._pending:
+            for value in pending.values():
+                total += value.nbytes + 16
+        return total
+
     def defer(self, table: int, grad: SparseGradient, step: int) -> None:
         """Accumulate one merged gradient; new rows are born at ``step``."""
         pending = self._pending[table]
@@ -226,54 +258,68 @@ class ReferencePendingStore:
 
 
 class FlatPendingStore:
-    """Flat-array deferred write-back store: no per-row Python, ever.
+    """Window-bounded flat-array deferred write-back store.
 
-    Layout, per table:
+    Layout, per table — everything sized to the *deferred* row set, never
+    the table (the window-bound invariant of the module docstring):
 
-    * a dense ``(rows, dim)`` **gradient accumulation buffer** (lazily
-      allocated at the first deferred gradient, matching its dtype/width),
-    * a **pending bitmap** — one table of a
-      :class:`~repro.core.hotset.HotSetIndex`, the same structure that
-      backs cache membership — marking which buffer rows hold gradient,
-    * a parallel ``int32`` **birth-step array** recording when each pending
-      row's oldest contribution arrived (garbage outside the bitmap).
+    * a **sorted row array** of the pending row ids (membership is one
+      binary search — no table-sized bitmap),
+    * a parallel **slot array** mapping each pending row to its slot in
+    * a ``(capacity, dim)`` **gradient value slab** plus a matching
+      **birth-step slab**, grown geometrically (capacity < 2x the peak
+      pending row count) with a free-slot list recycling flushed slots.
 
-    ``defer`` is one ``np.add.at`` scatter plus two bitmap ops; ``take`` is
-    one gather + zero-fill.  The age-based flush never scans the table:
-    each ``defer`` also appends its freshly-born rows to a per-table
+    ``defer`` is two binary searches, one ``np.insert`` of the fresh rows,
+    and one scatter through the slot indirection; ``take`` is one gather +
+    zero-fill of the freed slots.  The age-based flush never scans
+    anything: each ``defer`` appends its freshly-born rows to a per-table
     **birth-bucket deque** (buckets are in birth order because steps are),
     and ``aged_rows`` walks only the buckets past the staleness cutoff,
-    validating their rows with one boolean-mask pass (``bitmap[rows] &
-    (births[rows] == birth)`` — a row evicted or re-deferred since simply
-    fails the check).  Fully-invalidated aged buckets are pruned as they
-    are seen, so the amortised cost is O(rows flushed), independent of the
-    table size.  All operations are vectorised over the step's nnz — at
-    Criteo-Terabyte table scale the per-step cost no longer pays the
-    interpreter's O(nnz) dict churn, which is the
-    ``benchmarks/test_pending_store_speedup.py`` claim.  Results are
-    bit-identical to :class:`ReferencePendingStore` (rows flush in sorted
-    order; per-row values accumulate in arrival order), which the parity
-    suite asserts.
+    validating their rows with one membership + birth-step mask pass (a
+    row evicted or re-deferred since simply fails the check).  Fully
+    invalidated aged buckets are pruned as they are seen, so the amortised
+    cost is O(rows flushed), independent of the table size.
+
+    The ``SparseGradient`` sorted-unique-indices contract is checked once
+    at the ``defer`` boundary: gradients that violate it (hand-built
+    duplicates) are routed through a duplicate-safe ``np.add.at`` scatter
+    whose element order matches the dict reference's per-occurrence
+    accumulation, so results stay bit-identical to
+    :class:`ReferencePendingStore` either way (rows flush in sorted order;
+    per-row values accumulate in arrival order), which the parity suite
+    asserts.  ``clear()`` and an emptying ``take_all()`` **free** the
+    slabs (reset / epoch-carry paths release memory, not just zero it),
+    and :attr:`pending_bytes` / :attr:`peak_pending_bytes` expose the
+    footprint the regression suite and benchmark artifact pin.
     """
 
     def __init__(self, rows_per_table: tuple[int, ...]):
         self.rows_per_table = tuple(int(rows) for rows in rows_per_table)
         num_tables = len(self.rows_per_table)
-        # The dense buffer and the birth array are allocated lazily at the
-        # first deferred gradient, so a store that never defers (the
-        # stale-0 fast path) costs only the bitmaps.
+        #: Sorted pending row ids per table (compact, window-bounded).
+        self._rows: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(num_tables)
+        ]
+        #: Slab slot of each pending row, aligned with ``_rows``.
+        self._slots: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(num_tables)
+        ]
+        # Value/birth slabs are allocated lazily at the first deferred
+        # gradient (matching its dtype/width) and grown geometrically, so
+        # a store that never defers (the stale-0 fast path) costs nothing
+        # and one that does stays proportional to its pending set.
         self._values: list[np.ndarray | None] = [None] * num_tables
         self._births: list[np.ndarray | None] = [None] * num_tables
-        #: Pending membership, one HotSetIndex bitmap per table.
-        self._index = HotSetIndex(
-            [np.empty(0, dtype=np.int64) for _ in range(num_tables)],
-            self.rows_per_table,
-        )
-        self._counts = [0] * num_tables
+        #: Recycled slab slots (flushed rows' slots, already zeroed).
+        self._free: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(num_tables)
+        ]
         #: Per-table ``(birth step, rows born then)`` buckets, birth order.
         self._buckets: list[deque[tuple[int, np.ndarray]]] = [
             deque() for _ in range(num_tables)
         ]
+        self._peak_bytes = 0
 
     @property
     def num_tables(self) -> int:
@@ -283,71 +329,135 @@ class FlatPendingStore:
     @property
     def total_pending(self) -> int:
         """Deferred (not yet written back) rows across tables."""
-        return sum(self._counts)
+        return sum(rows.size for rows in self._rows)
 
     def pending_count(self, table: int) -> int:
-        """Deferred rows of one table (incrementally tracked popcount)."""
-        return self._counts[table]
+        """Deferred rows of one table."""
+        return int(self._rows[table].size)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes currently allocated by the store, across all tables.
+
+        Counts the compact row/slot/free arrays and the value/birth slabs
+        — by construction proportional to the pending row set (the
+        window-bound invariant), never to ``rows_per_table``.
+        """
+        total = 0
+        for table in range(self.num_tables):
+            total += (
+                self._rows[table].nbytes
+                + self._slots[table].nbytes
+                + self._free[table].nbytes
+            )
+            if self._values[table] is not None:
+                total += self._values[table].nbytes + self._births[table].nbytes
+        return total
+
+    @property
+    def peak_pending_bytes(self) -> int:
+        """High-water mark of :attr:`pending_bytes` (reset by ``clear``)."""
+        return self._peak_bytes
+
+    def _allocate_slots(self, table: int, count: int, dim: int, dtype) -> np.ndarray:
+        """Hand out ``count`` zeroed slab slots, growing the slabs if needed."""
+        free = self._free[table]
+        if free.size >= count:
+            self._free[table] = free[count:]
+            return free[:count]
+        values = self._values[table]
+        capacity = 0 if values is None else values.shape[0]
+        need = count - free.size
+        # Doubling keeps amortised growth O(1) and caps the slab at <2x
+        # the peak pending row count — the bound the footprint test and
+        # the bench-gate artifact assert against.
+        new_capacity = max(2 * capacity, capacity + need)
+        grown_values = np.zeros((new_capacity, dim), dtype=dtype)
+        grown_births = np.zeros(new_capacity, dtype=np.int64)
+        if values is not None:
+            grown_values[:capacity] = values
+            grown_births[:capacity] = self._births[table]
+        self._values[table] = grown_values
+        self._births[table] = grown_births
+        taken = np.concatenate(
+            [free, np.arange(capacity, capacity + need, dtype=np.int64)]
+        )
+        self._free[table] = np.arange(capacity + need, new_capacity, dtype=np.int64)
+        return taken
 
     def defer(self, table: int, grad: SparseGradient, step: int) -> None:
         """Accumulate one merged gradient; new rows are born at ``step``."""
         if grad.nnz == 0:
             return
         indices = grad.indices
-        buffer = self._values[table]
-        if buffer is None:
-            buffer = np.zeros(
-                (self.rows_per_table[table], grad.values.shape[1]),
-                dtype=grad.values.dtype,
-            )
-            self._values[table] = buffer
-            self._births[table] = np.zeros(self.rows_per_table[table], dtype=np.int32)
-        bitmap = self._index.bitmap(table)
+        # The SparseGradient contract (sorted unique indices) is checked
+        # once here, at the boundary; violating gradients take the
+        # duplicate-safe scatter below instead of silently corrupting the
+        # fast path's one-write-per-row assumption.
         sorted_unique = indices.size <= 1 or not np.any(np.diff(indices) <= 0)
-        fresh = indices[~bitmap[indices]]
-        if not sorted_unique and fresh.size > 1:
-            fresh = np.unique(fresh)
+        unique_indices = indices if sorted_unique else np.unique(indices)
+        rows = self._rows[table]
+        pos = np.searchsorted(rows, unique_indices)
+        present = pos < rows.size
+        present[present] = rows[pos[present]] == unique_indices[present]
+        fresh = unique_indices[~present]
         if fresh.size:
-            self._births[table][fresh] = step
-            self._index.set_rows(table, fresh)
-            self._counts[table] += fresh.size
+            slots_new = self._allocate_slots(
+                table, fresh.size, grad.values.shape[1], grad.values.dtype
+            )
+            self._births[table][slots_new] = step
+            insert_at = pos[~present]
+            self._rows[table] = np.insert(rows, insert_at, fresh)
+            self._slots[table] = np.insert(self._slots[table], insert_at, slots_new)
             self._buckets[table].append((step, fresh))
+            rows = self._rows[table]
+        slots_all = self._slots[table][np.searchsorted(rows, indices)]
         if sorted_unique:
-            # Merged gradients carry sorted unique indices, so the
-            # fancy-index add hits every row exactly once — same result as
-            # the np.add.at scatter at a fraction of its cost.
-            buffer[indices] += grad.values
+            # Sorted unique indices hit every slot exactly once — the
+            # fancy-index add equals the np.add.at scatter at a fraction
+            # of its cost.  Freed/fresh slots read zero, so accumulating
+            # into them matches the reference's arrival-order sums.
+            self._values[table][slots_all] += grad.values
         else:
-            # Duplicate (or unsorted) row ids: fall back to the slower
-            # duplicate-safe scatter so repeated contributions accumulate
-            # exactly as the dict reference accumulates them.
-            np.add.at(buffer, indices, grad.values)
+            # Duplicate (or unsorted) row ids: the duplicate-safe scatter
+            # accumulates per-occurrence contributions exactly as the dict
+            # reference accumulates them.
+            np.add.at(self._values[table], slots_all, grad.values)
+        live = self.pending_bytes
+        if live > self._peak_bytes:
+            self._peak_bytes = live
 
     def pending_mask(self, table: int, rows: np.ndarray) -> np.ndarray:
         """Boolean mask over ``rows``: True where the row is deferred."""
-        return self._index.contains(table, rows)
+        return _in_sorted(self._rows[table], np.asarray(rows, dtype=np.int64))
 
     def aged_rows(self, table: int, step: int, staleness: int) -> np.ndarray:
         """Sorted rows whose oldest contribution is ``staleness`` steps old.
 
-        Walks only the birth buckets past the cutoff: a bucket row is still
-        aged-and-pending iff it is in the bitmap with its original birth
-        step (eviction flushes and re-deferrals invalidate it).  Buckets
-        that turn out fully invalid are dropped; partially valid ones are
-        compacted and kept until their rows flush, so repeated queries stay
-        cheap and nothing ever rescans the table.
+        Walks only the birth buckets past the cutoff: a bucket row is
+        still aged-and-pending iff it is in the pending row array with its
+        original birth step (eviction flushes and re-deferrals invalidate
+        it).  Buckets that turn out fully invalid are dropped; partially
+        valid ones are compacted and kept until their rows flush, so
+        repeated queries stay cheap and nothing ever rescans the table.
         """
         buckets = self._buckets[table]
-        if not self._counts[table] or not buckets:
+        rows = self._rows[table]
+        if rows.size == 0 or not buckets:
             return np.empty(0, dtype=np.int64)
         cutoff = step - staleness
-        bitmap = self._index.bitmap(table)
+        slots = self._slots[table]
         births = self._births[table]
         collected: list[np.ndarray] = []
         still_valid: list[tuple[int, np.ndarray]] = []
         while buckets and buckets[0][0] <= cutoff:
-            birth, rows = buckets.popleft()
-            valid = rows[bitmap[rows] & (births[rows] == birth)]
+            birth, bucket_rows = buckets.popleft()
+            candidates = bucket_rows[_in_sorted(rows, bucket_rows)]
+            if candidates.size:
+                positions = np.searchsorted(rows, candidates)
+                valid = candidates[births[slots[positions]] == birth]
+            else:
+                valid = candidates
             if valid.size:
                 collected.append(valid)
                 still_valid.append((birth, valid))
@@ -360,53 +470,73 @@ class FlatPendingStore:
 
     def birth_steps(self, table: int) -> dict[int, int]:
         """``{row: birth step}`` of one table's deferred rows (tests)."""
-        rows = np.nonzero(self._index.bitmap(table))[0]
-        births = self._births[table]
-        return {int(row): int(births[row]) for row in rows}
+        rows = self._rows[table]
+        if rows.size == 0:
+            return {}
+        births = self._births[table][self._slots[table]]
+        return {int(row): int(birth) for row, birth in zip(rows, births, strict=True)}
 
     def take(self, table: int, rows: np.ndarray) -> SparseGradient:
         """Remove the deferred subset of ``rows`` as one sparse gradient.
 
-        One bitmap gather selects the deferred subset, one buffer gather
-        copies it out, and the touched buffer rows are zeroed in place —
-        the buffer, bitmap, and birth array always move together (a reused
-        trainer can never observe a row whose gradient was cleared but
-        whose birth survived, or vice versa).
+        ``rows`` must be sorted.  One membership pass selects the deferred
+        subset, one slab gather copies it out, and the freed slots are
+        zeroed and recycled — row array, slot array, value slab, and birth
+        slab always move together (a reused trainer can never observe a
+        row whose gradient was cleared but whose birth survived, or vice
+        versa).
         """
         rows = np.asarray(rows, dtype=np.int64)
+        pending = self._rows[table]
         if rows.size:
-            rows = rows[self._index.contains(table, rows)]
-        buffer = self._values[table]
-        if rows.size == 0 or buffer is None:
+            rows = rows[_in_sorted(pending, rows)]
+        slab = self._values[table]
+        if rows.size == 0 or slab is None:
             return SparseGradient(np.empty(0, dtype=np.int64), np.empty((0, 0)))
-        values = buffer[rows].copy()
-        buffer[rows] = 0.0
-        self._index.clear_rows(table, rows)
-        self._counts[table] -= rows.size
+        positions = np.searchsorted(pending, rows)
+        slots = self._slots[table][positions]
+        values = slab[slots].copy()
+        slab[slots] = 0.0  # recycled slots must read zero for the next +=
+        keep = np.ones(pending.size, dtype=bool)
+        keep[positions] = False
+        self._rows[table] = pending[keep]
+        self._slots[table] = self._slots[table][keep]
+        self._free[table] = np.concatenate([self._free[table], slots])
         return SparseGradient(rows, values)
 
     def take_all(self, table: int) -> SparseGradient:
-        """Remove and return everything deferred for one table."""
-        return self.take(table, np.nonzero(self._index.bitmap(table))[0])
+        """Remove and return everything deferred for one table.
+
+        Emptying a table releases its slabs entirely: the full-flush paths
+        (epoch carry, end-of-run drain, stale-0 backlog) free the memory
+        instead of keeping zeroed capacity alive across epochs.
+        """
+        taken = self.take(table, self._rows[table])
+        if self._rows[table].size == 0:
+            self._release_table(table)
+        return taken
+
+    def _release_table(self, table: int) -> None:
+        """Free one table's slabs and bookkeeping (drops, never zeroes)."""
+        self._rows[table] = np.empty(0, dtype=np.int64)
+        self._slots[table] = np.empty(0, dtype=np.int64)
+        self._values[table] = None
+        self._births[table] = None
+        self._free[table] = np.empty(0, dtype=np.int64)
+        self._buckets[table].clear()
 
     def clear(self) -> None:
-        """Drop all deferred gradients and their birth steps, atomically.
+        """Free all deferred gradients and their birth steps, atomically.
 
-        The gradient buffers, pending bitmaps, birth arrays, and popcounts
-        reset together — the regression suite pins that a reused trainer
-        starts from a state indistinguishable from a fresh store.
+        Row arrays, slot arrays, value slabs, and birth slabs are released
+        together (freed, not zeroed — a reset store holds no window's
+        worth of capacity), and the footprint high-water mark restarts:
+        the regression suite pins that a reused trainer starts from a
+        state indistinguishable from a fresh store.
         """
         for table in range(self.num_tables):
-            buffer = self._values[table]
-            if buffer is not None:
-                buffer[:] = 0.0
-            births = self._births[table]
-            if births is not None:
-                births[:] = 0
-            if self._counts[table]:
-                self._index.replace_table(table, np.empty(0, dtype=np.int64))
-            self._counts[table] = 0
-            self._buckets[table].clear()
+            self._release_table(table)
+        self._peak_bytes = 0
 
 
 def make_pending_store(
@@ -465,6 +595,36 @@ def epoch_row_stream(loader) -> Iterator[list[np.ndarray]]:
         pass
 
 
+def shard_epoch_row_stream(
+    loader, shard: int, num_shards: int
+) -> Iterator[list[np.ndarray]]:
+    """Per-batch unique-row arrays of one shard's slice of each batch.
+
+    The per-shard counterpart of :func:`epoch_row_stream`: each yielded
+    list holds the unique rows that *shard ``shard``'s* contiguous slice
+    of the batch touches, using the same balanced-split arithmetic as
+    :meth:`~repro.data.batch.MiniBatch.shards` (``bounds[k] = (k * size)
+    // num_shards``), so the stream matches exactly the shard batches the
+    trainer hands each replica.  Used by the per-shard accounting
+    lookahead caches, whose windows (and therefore fill traffic and
+    capacity) differentiate by shard; the walk is read-only with respect
+    to the loader's RNG, like the global stream.
+    """
+    if not 0 <= shard < num_shards:
+        raise ValueError(f"shard {shard} out of range for {num_shards} shards")
+    order = getattr(loader, "last_epoch_order", None)
+    log = loader.log
+    for start, stop in loader.batch_bounds():
+        block = (
+            log.sparse[start:stop] if order is None else log.sparse[order[start:stop]]
+        )
+        size = block.shape[0]
+        lo = (shard * size) // num_shards
+        hi = ((shard + 1) * size) // num_shards
+        sub = block[lo:hi]
+        yield [np.unique(sub[:, table, :]) for table in range(block.shape[1])]
+
+
 class CachedEmbeddingPipeline:
     """Lookahead-window embedding cache with bounded-staleness write-back.
 
@@ -502,6 +662,12 @@ class CachedEmbeddingPipeline:
             (default) for the vectorised :class:`FlatPendingStore`,
             ``"reference"`` for the dict-based
             :class:`ReferencePendingStore` parity ground truth.
+        price_fills: Whether :meth:`observe` prices fill traffic.  Leave
+            on for the pipeline that owns the deferral numerics; turn off
+            when per-shard accounting pipelines price the fills instead
+            (the per-shard lookahead of
+            :class:`~repro.core.distributed.ShardedHotlineTrainer`), so
+            the same fill is never charged twice.
     """
 
     def __init__(
@@ -515,6 +681,7 @@ class CachedEmbeddingPipeline:
         link: Link | None = None,
         dma: DMAEngine | None = None,
         pending_store: str = "flat",
+        price_fills: bool = True,
     ):
         if window < 0:
             raise ValueError("window must be >= 0")
@@ -529,6 +696,7 @@ class CachedEmbeddingPipeline:
         self.num_replicas = int(num_replicas)
         self.link = link
         self.dma = dma or DMAEngine()
+        self.price_fills = bool(price_fills)
         num_tables = len(self.rows_per_table)
         #: Cache membership: one HotSetIndex bitmap per table.
         self.cache = HotSetIndex(
@@ -562,6 +730,16 @@ class CachedEmbeddingPipeline:
         """Deferred (not yet written back) rows across tables."""
         return self.pending.total_pending
 
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes currently allocated by the deferred write-back store."""
+        return int(getattr(self.pending, "pending_bytes", 0))
+
+    @property
+    def peak_pending_bytes(self) -> int:
+        """High-water mark of the store's allocation (0 if untracked)."""
+        return int(getattr(self.pending, "peak_pending_bytes", 0))
+
     # ------------------------------------------------------------------ #
     # Epoch lifecycle
     # ------------------------------------------------------------------ #
@@ -594,9 +772,13 @@ class CachedEmbeddingPipeline:
         with the old run's data.  The store clears its gradient buffers and
         birth arrays in one atomic pass, so a reused trainer cannot inherit
         a stale birth step for a fresh deferral (the PR 5 regression suite
-        pins this alongside the PR 4 ``bind()`` fix).
+        pins this alongside the PR 4 ``bind()`` fix).  The DMA engine's
+        traffic counters reset too: a reused trainer's reported fill/
+        write-back bytes describe *its* run, not the previous one's (the
+        rebind counter-lifetime regression pins this).
         """
         self.pending.clear()
+        self.dma.reset_counters()
         self._reset_window(None)
         self._step = 0
         self._carry_rows = 0
@@ -611,9 +793,14 @@ class CachedEmbeddingPipeline:
             self.cache.replace_table(table, np.empty(0, dtype=np.int64))
 
     def _flush_all(self) -> list[SparseGradient] | None:
-        if self.pending_rows_total == 0:
+        # Always walk ``take_all`` (even when nothing is pending): it is
+        # what frees the store's compact slabs, so an epoch boundary or
+        # drain leaves no capacity behind — the window-bound invariant's
+        # "free, don't zero" half.
+        flushed = [self.pending.take_all(table) for table in range(self.num_tables)]
+        if all(grad.nnz == 0 for grad in flushed):
             return None
-        return [self.pending.take_all(table) for table in range(self.num_tables)]
+        return flushed
 
     def _priced_flush_all(self) -> tuple[list[SparseGradient] | None, int, float]:
         """Flush every deferred write-back and price its DMA traffic.
@@ -693,7 +880,7 @@ class CachedEmbeddingPipeline:
             stats.cache_misses += misses
             stats.cache_hits += lookups.size - misses
         stats.fill_rows = fills
-        if self.link is not None and fills:
+        if self.link is not None and fills and self.price_fills:
             stats.prefetch_time_s = cache_fill_time(
                 fills, self.row_bytes, self.num_replicas, self.link, dma=self.dma
             )

@@ -26,6 +26,14 @@ class DMAEngine:
         link: The PCIe link used by the device.
         dram: The host DRAM the engine reads from / writes to.
         setup_latency_s: Fixed descriptor-setup cost per DMA request batch.
+
+    **Counter lifetime.**  ``bytes_read`` / ``bytes_written`` /
+    ``requests`` accumulate for the life of the engine — pricing calls
+    never reset them.  An owner that reports per-run traffic (the
+    lookahead pipeline, a rebindable trainer) must call
+    :meth:`reset_counters` at the start of each run; forgetting to do so
+    on rebind makes run B report run A's traffic (the regression the
+    ``bind()`` counter-lifetime tests pin).
     """
 
     link: Link = PCIE_GEN3_X16

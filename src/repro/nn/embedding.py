@@ -52,10 +52,31 @@ the same store object) and every copied table re-derives its view from the
 copied buffer, so mutating one replica's stacked store can never alias
 another replica's weights.  Storing the view as an attribute would break
 this (deepcopy materialises ndarray views into standalone arrays).
+
+**The hot/cold tiering model.**  At Criteo-Terabyte scale the embedding
+weights themselves do not fit device memory — only the frequently-accessed
+rows do (the same observation Hotline's placement and the lookahead window
+exploit).  :class:`TieredEmbeddingStore` models the software-managed cache
+that CacheEmbedding's ``CachedEmbeddingBag`` implements for real: a
+device-resident **hot tier** of bounded byte capacity in front of a host
+**cold tier**, with every lookup resolved through the tier.  Crucially it
+is an *accounting and pricing* layer: the weights stay in the one
+(possibly stacked) buffer they already live in, so training numerics are
+**bit-identical** with the tier attached or not — what changes is the
+simulated cost (cold fetches and dirty evictions priced through
+``hwsim.dma.DMAEngine``) and the hit/miss/eviction counters.  Residency
+is tracked with compact sorted row arrays and aligned access-frequency
+counts (window-bounded bookkeeping — never a table-sized side array), so
+eviction is frequency-aware (LFU) and can be *fed by the classifier's
+access counts* via :meth:`TieredEmbeddingStore.record_counts`; rows the
+hot/cold placement replicates on every device are pinned and never evict.
+:meth:`EmbeddingBag.attach_tier` makes a table resolve lookups through a
+tier transparently — ``forward`` touches the tier, nothing else changes.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -343,6 +364,8 @@ class EmbeddingBag:
         self._weight: np.ndarray | None = init.embedding_uniform(num_rows, dim, rng)
         self._store: StackedEmbeddingStore | None = None
         self._slot: int = -1
+        self._tier: TieredEmbeddingStore | None = None
+        self._tier_table: int = -1
         self._last_indices: np.ndarray | None = None
 
     @property
@@ -363,6 +386,24 @@ class EmbeddingBag:
         self._store = store
         self._slot = slot
         self._weight = None  # rows now live (only) in the stacked buffer
+
+    def attach_tier(self, tier: TieredEmbeddingStore, table: int) -> None:
+        """Resolve this table's lookups through a hot/cold tier.
+
+        Every subsequent :meth:`forward` touches ``tier`` as table
+        ``table`` — hits/misses/evictions and DMA pricing accumulate on
+        the tier; the lookup numerics are untouched (the tier is an
+        accounting layer, see :class:`TieredEmbeddingStore`).
+        """
+        if tier.rows_per_table[table] != self.num_rows or tier.dim != self.dim:
+            raise ValueError("tier table shape does not match this EmbeddingBag")
+        self._tier = tier
+        self._tier_table = table
+
+    def detach_tier(self) -> None:
+        """Stop resolving lookups through the attached tier (if any)."""
+        self._tier = None
+        self._tier_table = -1
 
     def forward(self, indices: np.ndarray) -> np.ndarray:
         """Sum-pool the rows selected by each sample.
@@ -388,6 +429,8 @@ class EmbeddingBag:
             out = np.zeros((indices.shape[0], self.dim), dtype=self.weight.dtype)
         else:
             out = self.weight[indices].sum(axis=1)
+            if self._tier is not None:
+                self._tier.touch(self._tier_table, indices)
         self._last_indices = indices
         return out
 
@@ -478,6 +521,279 @@ class EmbeddingBag:
     def num_parameters(self) -> int:
         """Number of scalar parameters in the table."""
         return self.num_rows * self.dim
+
+
+def _in_sorted(sorted_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``rows`` in an ascending unique ``sorted_rows``."""
+    if sorted_rows.size == 0 or rows.size == 0:
+        return np.zeros(rows.shape[0], dtype=bool)
+    pos = np.searchsorted(sorted_rows, rows)
+    present = pos < sorted_rows.size
+    present[present] = sorted_rows[pos[present]] == rows[present]
+    return present
+
+
+class TieredEmbeddingStore:
+    """Software-managed hot/cold tier in front of the embedding weights.
+
+    Models a device-resident cache of ``hot_bytes`` capacity holding the
+    frequently-accessed rows of every table, with the long tail in a host
+    tier priced through a :class:`~repro.hwsim.dma.DMAEngine` — the
+    CacheEmbedding ``CachedEmbeddingBag`` design.  Pure accounting: the
+    weights stay wherever they already live (private arrays or a
+    :class:`StackedEmbeddingStore` slab), so attaching a tier never
+    changes training numerics — only the simulated fetch/eviction cost
+    and the hit/miss counters (see the module docstring).
+
+    Residency bookkeeping is **window-bounded**: per-table sorted row
+    arrays with aligned access-frequency counts, sized to the resident
+    set, never the table.  Eviction is LFU over the unpinned resident
+    rows (globally, since ``hot_bytes`` models one device memory), with
+    frequencies optionally seeded from the classifier's access counts via
+    :meth:`record_counts`; :meth:`pin_rows` marks the placement's
+    replicated hot rows un-evictable.  Evicted rows are dirty (training
+    updates rows in place), so each eviction prices a scattered
+    write-back in addition to the miss's scattered fetch.
+    """
+
+    def __init__(
+        self,
+        rows_per_table: tuple[int, ...] | list[int],
+        dim: int,
+        *,
+        hot_bytes: float,
+        dma: object | None = None,
+        dtype_bytes: int = 4,
+    ):
+        if dim <= 0:
+            raise ValueError("embedding dim must be positive")
+        if hot_bytes < 0:
+            raise ValueError("hot_bytes must be non-negative")
+        if dma is None:
+            from repro.hwsim.dma import DMAEngine
+
+            dma = DMAEngine()
+        # One tier is typically shared by every replica's tables (it models
+        # one device memory), and replicas may step on a thread pool — all
+        # mutation happens under this lock.
+        self._lock = threading.Lock()
+        self.rows_per_table = tuple(int(rows) for rows in rows_per_table)
+        self.dim = int(dim)
+        self.dtype_bytes = int(dtype_bytes)
+        self.hot_bytes = float(hot_bytes)
+        self.capacity_rows = int(self.hot_bytes // self.row_bytes)
+        self.dma = dma
+        num_tables = len(self.rows_per_table)
+        self._rows = [np.empty(0, dtype=np.int64) for _ in range(num_tables)]
+        self._counts = [np.empty(0, dtype=np.int64) for _ in range(num_tables)]
+        self._pinned = [np.empty(0, dtype=np.int64) for _ in range(num_tables)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.fetch_time_s = 0.0
+        self.writeback_time_s = 0.0
+
+    def __getstate__(self) -> dict:
+        """Deepcopy/pickle support: the lock is recreated, not copied."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables fronted by the tier."""
+        return len(self.rows_per_table)
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per embedding row in the modelled device memory."""
+        return self.dim * self.dtype_bytes
+
+    @property
+    def resident_rows(self) -> int:
+        """Rows currently resident in the hot tier, across tables."""
+        return int(sum(rows.size for rows in self._rows))
+
+    @property
+    def resident_bytes(self) -> float:
+        """Modelled device bytes occupied by the resident rows."""
+        return float(self.resident_rows) * self.row_bytes
+
+    @property
+    def nbytes(self) -> int:
+        """Actual bookkeeping footprint (resident-set-sized, never O(table))."""
+        return int(
+            sum(
+                rows.nbytes + counts.nbytes + pinned.nbytes
+                for rows, counts, pinned in zip(
+                    self._rows, self._counts, self._pinned, strict=True
+                )
+            )
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of touched rows resolved from the hot tier."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def tier_time_s(self) -> float:
+        """Total simulated seconds spent on cold fetches and evictions."""
+        return self.fetch_time_s + self.writeback_time_s
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters and priced times.
+
+        Residency (and pinning) survives: a rebind reuses the warmed tier
+        but must report only its own run's traffic — the same counter-
+        lifetime contract as ``DMAEngine.reset_counters``.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.fetch_time_s = 0.0
+        self.writeback_time_s = 0.0
+
+    def is_resident(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """Boolean residency of ``rows`` (sorted-array probe, no bitmap)."""
+        return _in_sorted(self._rows[table], np.asarray(rows, dtype=np.int64))
+
+    def pin_rows(self, table: int, rows: np.ndarray, *, price: bool = True) -> None:
+        """Make ``rows`` resident and un-evictable (the placement's hot set).
+
+        Pinned rows model the replicated hot rows of an
+        ``EmbeddingPlacement``: they are pre-loaded in one **contiguous**
+        transfer (priced unless ``price=False``) and never considered for
+        eviction, whatever their frequency.
+        """
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        if rows.size == 0:
+            return
+        if rows[0] < 0 or rows[-1] >= self.rows_per_table[table]:
+            raise ValueError(f"pinned row out of range for table {table}")
+        with self._lock:
+            self._pinned[table] = np.union1d(self._pinned[table], rows)
+            fresh = rows[~_in_sorted(self._rows[table], rows)]
+            if fresh.size:
+                self._insert(table, fresh, np.zeros(fresh.size, dtype=np.int64))
+                if price:
+                    self.fetch_time_s += self.dma.read_time(
+                        fresh.size * self.row_bytes, scattered=False
+                    )
+            self._evict_to_capacity()
+
+    def record_counts(self, table: int, rows: np.ndarray, counts: np.ndarray) -> None:
+        """Fold classifier access counts into resident rows' frequencies.
+
+        The µ-batch classifier (and the placement's learning phase) counts
+        row accesses anyway; feeding them here makes LFU eviction agree
+        with the classifier's popularity estimate instead of only the
+        tier's own touch history.  Rows not resident are ignored — the
+        bookkeeping stays resident-set-sized.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if rows.shape != counts.shape:
+            raise ValueError("rows and counts must align")
+        with self._lock:
+            present = _in_sorted(self._rows[table], rows)
+            if not present.any():
+                return
+            positions = np.searchsorted(self._rows[table], rows[present])
+            np.add.at(self._counts[table], positions, counts[present])
+
+    def touch(self, table: int, indices: np.ndarray) -> float:
+        """Resolve one lookup block through the tier; return priced seconds.
+
+        ``indices`` is the table's ``(batch, pooling)`` block (any shape —
+        it is flattened).  Resident rows count as hits and bump their
+        frequency by their occurrence count; the rest are cold misses,
+        fetched with one scattered DMA read and made resident, after which
+        the tier evicts back down to capacity (LFU over unpinned rows,
+        dirty write-back priced per eviction).
+        """
+        rows, occurrences = np.unique(
+            np.asarray(indices, dtype=np.int64).reshape(-1), return_counts=True
+        )
+        if rows.size == 0:
+            return 0.0
+        if rows[0] < 0 or rows[-1] >= self.rows_per_table[table]:
+            raise ValueError(f"lookup row out of range for table {table}")
+        with self._lock:
+            resident = self._rows[table]
+            present = _in_sorted(resident, rows)
+            hit_count = int(np.count_nonzero(present))
+            self.hits += hit_count
+            self.misses += rows.size - hit_count
+            step_time = 0.0
+            if hit_count:
+                positions = np.searchsorted(resident, rows[present])
+                self._counts[table][positions] += occurrences[present]
+            cold = rows[~present]
+            if cold.size:
+                fetch = self.dma.read_time(cold.size * self.row_bytes, scattered=True)
+                self.fetch_time_s += fetch
+                step_time += fetch
+                self._insert(table, cold, occurrences[~present])
+                step_time += self._evict_to_capacity()
+            return step_time
+
+    def _insert(self, table: int, rows: np.ndarray, counts: np.ndarray) -> None:
+        """Splice ``rows`` (sorted, disjoint from resident) into the table."""
+        positions = np.searchsorted(self._rows[table], rows)
+        self._rows[table] = np.insert(self._rows[table], positions, rows)
+        self._counts[table] = np.insert(self._counts[table], positions, counts)
+
+    def _evict_to_capacity(self) -> float:
+        """Evict lowest-frequency unpinned rows until capacity holds.
+
+        Returns the priced write-back seconds.  If pinned rows alone
+        exceed capacity nothing unpinned is left to evict and the tier
+        stays over budget — callers size pinning against ``hot_bytes``
+        (``EmbeddingPlacement.fits_budget`` gates exactly this).
+        """
+        excess = self.resident_rows - self.capacity_rows
+        if excess <= 0:
+            return 0.0
+        candidate_counts: list[np.ndarray] = []
+        candidate_tables: list[np.ndarray] = []
+        candidate_positions: list[np.ndarray] = []
+        for table in range(self.num_tables):
+            unpinned = ~_in_sorted(self._pinned[table], self._rows[table])
+            positions = np.flatnonzero(unpinned)
+            if positions.size == 0:
+                continue
+            candidate_counts.append(self._counts[table][positions])
+            candidate_tables.append(np.full(positions.size, table, dtype=np.int64))
+            candidate_positions.append(positions)
+        if not candidate_counts:
+            return 0.0
+        counts = np.concatenate(candidate_counts)
+        tables = np.concatenate(candidate_tables)
+        positions = np.concatenate(candidate_positions)
+        take = min(excess, counts.size)
+        order = np.argpartition(counts, take - 1)[:take] if take < counts.size else (
+            np.arange(counts.size)
+        )
+        evicted = 0
+        for table in range(self.num_tables):
+            victim_positions = positions[order][tables[order] == table]
+            if victim_positions.size == 0:
+                continue
+            keep = np.ones(self._rows[table].size, dtype=bool)
+            keep[victim_positions] = False
+            self._rows[table] = self._rows[table][keep]
+            self._counts[table] = self._counts[table][keep]
+            evicted += victim_positions.size
+        self.evictions += evicted
+        writeback = self.dma.write_time(evicted * self.row_bytes, scattered=True)
+        self.writeback_time_s += writeback
+        return writeback
 
 
 # ---------------------------------------------------------------------- #

@@ -119,18 +119,103 @@ def test_duplicate_indices_accumulate_like_the_reference():
     np.testing.assert_array_equal(taken_flat.values[1], [3.0, 3.0])  # both hits
 
 
-def test_buffers_allocate_lazily():
-    """A store that never defers costs only the bitmaps (the stale-0 fast
-    path at Criteo-Terabyte table sizes must not allocate table-sized
-    float buffers or birth arrays)."""
+def test_buffers_allocate_lazily_and_window_bounded():
+    """A store that never defers allocates nothing, and one that defers
+    allocates proportionally to the *deferred* row set — never a
+    table-sized float buffer or birth array (the window-bound invariant
+    the Criteo-Terabyte deferral path depends on)."""
     store = FlatPendingStore((1 << 20, 64))
     assert store._values == [None, None]
     assert store._births == [None, None]
+    assert store.pending_bytes == 0
     store.defer(1, SparseGradient(np.asarray([3], dtype=np.int64), np.ones((1, 2))), 0)
     assert store._values[0] is None and store._births[0] is None
-    assert store._values[1].shape == (64, 2)
+    # The value slab tracks the single deferred row, not the 64-row table.
+    assert store._values[1].shape == (1, 2)
     store.clear()  # must tolerate the un-allocated table
     assert store.total_pending == 0
+    # clear() frees (not zeroes): no capacity survives the reset.
+    assert store.pending_bytes == 0
+    assert store.peak_pending_bytes == 0
+
+
+def test_footprint_is_window_bounded_at_terabyte_scale():
+    """Memory-footprint regression: a 10M-row table with a small window
+    never allocates table-sized deferral structures — peak pending-store
+    bytes stay proportional to the cached row set.  Runs the full
+    pipeline (window + staleness flushes + epoch carry) so the bound
+    covers every path a training run exercises."""
+    rows_per_table = (10_000_000,)
+    dim, window, staleness = 8, 4, 2
+    pipe = CachedEmbeddingPipeline(
+        rows_per_table, window=window, staleness=staleness, pending_store="flat"
+    )
+    rng = np.random.default_rng(17)
+    # Rows recur across nearby batches (a hot pool) so deferral genuinely
+    # accumulates instead of every row flushing as its batch retires.
+    pool = rng.choice(10_000_000, size=2_000, replace=False)
+    batches = [
+        np.unique(
+            np.concatenate(
+                [
+                    rng.choice(pool, size=48, replace=False),
+                    rng.choice(10_000_000, size=16, replace=False),
+                ]
+            )
+        )
+        for _ in range(28)
+    ]
+    pipe.begin_epoch(iter([[rows.astype(np.int64)] for rows in batches]))
+    window_rows = 0
+    # Stop four batches short of the stream so the window is still full at
+    # the epoch boundary and the carry path has real pending rows to flush.
+    for rows in batches[:24]:
+        pipe.observe(rows.astype(np.int64).reshape(-1, 1, 1))
+        # Pending rows are a subset of the cached set plus (transiently)
+        # the retiring batch's rows — the window bound of the invariant.
+        window_rows = max(window_rows, pipe.cached_rows_total + rows.size)
+        grad = SparseGradient(rows.astype(np.int64), rng.normal(size=(rows.size, dim)))
+        pipe.defer([grad])
+    carry = pipe.begin_epoch(None)
+    assert carry is not None  # the deferral path genuinely ran
+    # Bytes per pending row: (dim + 1) slab float64/int64 on <2x-capacity
+    # slabs, plus row id + slot + recycled free-slot entries.
+    per_row_bound = 2 * (dim * 8 + 8) + 16 + 2 * 8
+    assert pipe.peak_pending_bytes <= window_rows * per_row_bound
+    # And nowhere near the ~10 GB table-sized buffer this regression pins.
+    assert pipe.peak_pending_bytes < 1_000_000
+    # The epoch carry freed the slabs entirely (satellite of the same fix).
+    assert pipe.pending_bytes == 0
+
+
+def test_fuzz_duplicate_and_unsorted_indices_match_reference():
+    """Boundary-contract fuzz: gradients violating the SparseGradient
+    sorted-unique contract (duplicates, shuffled order, repeats of rows
+    already pending) must accumulate bit-identically to the dict
+    reference through defers, age scans, and takes."""
+    rng = np.random.default_rng(23)
+    flat = FlatPendingStore(ROWS_PER_TABLE)
+    ref = ReferencePendingStore(ROWS_PER_TABLE)
+    for step in range(30):
+        for table, rows in enumerate(ROWS_PER_TABLE):
+            nnz = int(rng.integers(2, 10))
+            # Sampling with replacement yields duplicates; the shuffle
+            # breaks sortedness.
+            indices = rng.choice(rows, size=nnz, replace=True)
+            rng.shuffle(indices)
+            grad = SparseGradient(
+                indices.astype(np.int64), rng.normal(size=(nnz, 3))
+            )
+            flat.defer(table, grad, step)
+            ref.defer(table, grad, step)
+            assert flat.pending_count(table) == ref.pending_count(table)
+            assert flat.birth_steps(table) == ref.birth_steps(table)
+            aged_flat = flat.aged_rows(table, step, 2)
+            aged_ref = ref.aged_rows(table, step, 2)
+            np.testing.assert_array_equal(aged_flat, aged_ref)
+            assert_same_gradient(flat.take(table, aged_flat), ref.take(table, aged_ref))
+    for table in range(len(ROWS_PER_TABLE)):
+        assert_same_gradient(flat.take_all(table), ref.take_all(table))
 
 
 def run_pipeline(pending_store, batches, grads, *, window, staleness):
