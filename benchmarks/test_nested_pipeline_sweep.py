@@ -1,0 +1,40 @@
+"""The fig30n nested-pipelining sweep as a sparse-path artifact entry.
+
+Runs the registry's ``fig30n`` experiment — Hotline's popular/non-popular
+split vs nested µ-batch × stage pipelining, swept 8 → 1,536 simulated
+devices on the oversubscribed :class:`HierarchicalTopology` — and records
+the located crossover in ``BENCH_sparse_path.json`` as an
+**informational** entry (no gate: the crossover point is a property of
+the modelled hardware constants, not a code-speed claim worth failing CI
+over).  ``check_bench_gates.py`` still audits the entry's shape.
+"""
+
+import time
+
+from benchmarks.figutils import record_bench
+from repro.experiments.registry import run_experiment
+
+
+def test_nested_pipeline_sweep(benchmark):
+    """The sweep reaches >= 1,024 devices and the crossover is in-sweep."""
+    start = time.perf_counter()
+    data = run_experiment("fig30n")
+    elapsed = time.perf_counter() - start
+    benchmark(lambda: run_experiment("fig30n"))
+
+    sweep = data["sweep"]
+    crossover = data["crossover_devices"]
+    largest = max(sweep)
+    print(
+        f"\nfig30n: crossover at {crossover} devices; at {largest} devices "
+        f"nested pipelining is {sweep[largest]['nested_speedup']:.2f}x faster"
+    )
+    record_bench(
+        "nested_pipeline_sweep",
+        config=f"devices={sorted(sweep)}, topology=4gpu/nic x 2nic/node x 4:1 spine, "
+        f"crossover_devices={crossover}, "
+        f"speedup_at_{largest}={sweep[largest]['nested_speedup']:.3f}",
+        seconds=elapsed,
+    )
+    assert largest >= 1024
+    assert crossover is not None and crossover <= largest

@@ -89,10 +89,11 @@ from repro.core.lookahead import (
 )
 from repro.core.placement import EmbeddingPlacement, PartitionedEmbeddingPlacement
 from repro.core.reducer import GradientBucketReducer, SparseGradientExchange
+from repro.core.schedule import CommOp, ComposedSchedule, FlatLinks, StepSchedule
 from repro.data.batch import MiniBatch
 from repro.data.loader import MiniBatchLoader
 from repro.hwsim.cluster import Cluster, single_node
-from repro.hwsim.collectives import embedding_alltoall_time
+from repro.hwsim.collectives import comm_op_time
 from repro.nn.embedding import (
     SparseGradient,
     TieredEmbeddingStore,
@@ -317,18 +318,20 @@ class MergedGradientShardedTrainer(_ShardedTrainerBase):
             )
             self._dense_sync_time_cache = (
                 key,
-                float(sum(reducer.bucket_times(self.model.num_dense_parameters))),
+                reducer.step_schedule(self.model.num_dense_parameters).total_s,
             )
         return self._dense_sync_time_cache[1]
 
     def run_step(self, batch: MiniBatch) -> StepOutcome:
         """One merged step reported to the engine with its comm term."""
         loss, popular_fraction = self.train_step(batch)
+        dense_sync = self.dense_sync_time()
         return StepOutcome(
             loss=loss,
             popular_fraction=popular_fraction,
             compute_time_s=self.shard_compute_time(batch.size),
-            communication_time_s=self.dense_sync_time(),
+            communication_time_s=dense_sync,
+            comm_lanes_s=(("dense-allreduce", dense_sync),),
         )
 
 
@@ -1111,6 +1114,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         return StepOutcome(
             loss=0.0,
             communication_time_s=prefetch,
+            comm_lanes_s=(("prefetch", prefetch),),
             stale_rows=stale_rows,
             prefetch_time_s=prefetch,
             pending_bytes=(
@@ -1166,20 +1170,26 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             self._bucket_times_key = key
         return self._bucket_times
 
+    def dense_schedule(self) -> StepSchedule:
+        """One step's dense all-reduce as a mode-composed schedule object."""
+        return self.reducer.comm_schedule(self._step_bucket_times())
+
     def dense_sync_time(self) -> float:
         """Total wire time of one step's bucketed dense all-reduce."""
-        return float(sum(self._step_bucket_times()))
+        return self.dense_schedule().total_s
 
     def alltoall_time(self, remote_lookups: int) -> float:
         """Priced all-to-all of remotely-owned lookups (partitioned runs)."""
         if self.partition is None or remote_lookups <= 0:
             return 0.0
-        return embedding_alltoall_time(
-            float(remote_lookups),
-            self.partition.row_bytes,
-            self.num_shards,
-            self._fill_link(),
+        op = CommOp(
+            "embedding_alltoall",
+            tier="node",
+            rows=float(remote_lookups),
+            row_bytes=self.partition.row_bytes,
+            participants=self.num_shards,
         )
+        return comm_op_time(op, FlatLinks(self._fill_link()))
 
     # ------------------------------------------------------------------ #
     # StepExecutor interface
@@ -1203,7 +1213,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         loss, popular_fraction = self.train_step(batch)
         compute = self.shard_compute_time(batch.size)
         bucket_times = self._step_bucket_times()
-        exposed = self.reducer.exposed_time(bucket_times, compute)
+        dense = self.reducer.comm_schedule(bucket_times)
         stats = self.lookahead.last_stats if self.lookahead is not None else None
         prefetch = stats.prefetch_time_s if stats is not None else 0.0
         if self.shard_lookaheads:
@@ -1213,10 +1223,21 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             prefetch += max(
                 pipe.last_stats.prefetch_time_s for pipe in self.shard_lookaheads
             )
-        exposed_prefetch = max(0.0, prefetch - compute)
         lookup_alltoall = (
             0.0 if self.lookahead is not None
             else self.alltoall_time(self.last_remote_lookups)
+        )
+        # Three independent lanes expose against the same compute window:
+        # the mode-composed dense all-reduce, the (fully exposed) lookup
+        # all-to-all, and the prefetch traffic that runs one step ahead —
+        # a staged(1) schedule, so only the tail outliving one compute
+        # window is paid.
+        comm = ComposedSchedule(
+            (
+                dense,
+                StepSchedule.sequential((lookup_alltoall,), label="lookup-alltoall"),
+                StepSchedule.staged((prefetch,), 1, label="prefetch"),
+            )
         )
         tier_hits = tier_misses = tier_evictions = 0
         if self.tier is not None:
@@ -1232,7 +1253,8 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             loss=loss,
             popular_fraction=popular_fraction,
             compute_time_s=compute,
-            communication_time_s=exposed + lookup_alltoall + exposed_prefetch,
+            communication_time_s=comm.exposed_time(compute),
+            comm_lanes_s=comm.lane_exposures(compute),
             bucket_times_s=tuple(bucket_times),
             cache_hits=stats.cache_hits if stats is not None else 0,
             cache_misses=stats.cache_misses if stats is not None else 0,

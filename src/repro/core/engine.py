@@ -58,6 +58,12 @@ class TrainingResult:
             overlap backward; zero when fully hidden by staleness.  Zero
             for single-replica runs whose perf model reports no
             collective).
+        comm_lane_s: Exposed communication by schedule lane, summed over
+            steps: the per-label split of ``communication_time_s`` for
+            executors that compose their step from named
+            :class:`~repro.core.schedule.StepSchedule` lanes (e.g.
+            ``dense-allreduce`` / ``lookup-alltoall`` / ``prefetch``).
+            Empty for executors without a composed schedule.
         bucket_comm_s: Per-bucket dense all-reduce wire time, summed over
             steps: ``bucket_comm_s[i]`` is the total wire time bucket ``i``
             spent on the simulated links across the run, hidden or not.
@@ -98,6 +104,7 @@ class TrainingResult:
     simulated_time_s: float = 0.0
     compute_time_s: float = 0.0
     communication_time_s: float = 0.0
+    comm_lane_s: dict[str, float] = field(default_factory=dict)
     bucket_comm_s: list[float] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
@@ -152,6 +159,12 @@ class StepOutcome:
         compute_time_s: Simulated per-replica compute time of the step.
         communication_time_s: Simulated *exposed* collective time of the
             step (the portion not hidden under backward compute).
+        comm_lanes_s: The step's exposed communication split by schedule
+            lane, as ``(label, exposed_s)`` pairs in lane order — the
+            per-lane view of a
+            :class:`~repro.core.schedule.ComposedSchedule`; the pairs sum
+            to ``communication_time_s`` for executors that report them.
+            Empty for executors without a composed schedule.
         bucket_times_s: Per-bucket wire time of the step's dense
             all-reduce, in bucket order (empty when the executor has no
             bucketed reducer).  May sum to more than
@@ -186,6 +199,7 @@ class StepOutcome:
     popular_fraction: float | None = None
     compute_time_s: float = 0.0
     communication_time_s: float = 0.0
+    comm_lanes_s: tuple[tuple[str, float], ...] = ()
     bucket_times_s: tuple[float, ...] = ()
     cache_hits: int = 0
     cache_misses: int = 0
@@ -380,6 +394,8 @@ class TrainingEngine:
                     result.popular_fractions.append(outcome.popular_fraction)
                 result.compute_time_s += outcome.compute_time_s
                 result.communication_time_s += outcome.communication_time_s
+                for label, lane_s in outcome.comm_lanes_s:
+                    result.comm_lane_s[label] = result.comm_lane_s.get(label, 0.0) + lane_s
                 result.simulated_time_s += outcome.step_time_s
                 result.cache_hits += outcome.cache_hits
                 result.cache_misses += outcome.cache_misses
@@ -420,6 +436,8 @@ class TrainingEngine:
         if drained is not None:
             result.compute_time_s += drained.compute_time_s
             result.communication_time_s += drained.communication_time_s
+            for label, lane_s in drained.comm_lanes_s:
+                result.comm_lane_s[label] = result.comm_lane_s.get(label, 0.0) + lane_s
             result.simulated_time_s += drained.step_time_s
             result.cache_hits += drained.cache_hits
             result.cache_misses += drained.cache_misses

@@ -93,7 +93,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hotset import HotSetIndex
-from repro.hwsim.collectives import cache_fill_time
+from repro.core.schedule import CommOp, FlatLinks
+from repro.hwsim.collectives import comm_op_time
 from repro.hwsim.dma import DMAEngine
 from repro.hwsim.interconnect import Link
 from repro.nn.embedding import SparseGradient, merge_sparse_gradients
@@ -625,6 +626,94 @@ def shard_epoch_row_stream(
         yield [np.unique(sub[:, table, :]) for table in range(block.shape[1])]
 
 
+class WindowRefcounts:
+    """Compact per-table reference counts of the window's cached rows.
+
+    The lookahead window needs, per cached row, how many in-flight window
+    batches reference it (fill on first reference, evict on last).  A
+    table-sized int32 array answers that in O(1) per row but costs
+    40 MB per 10M-row Criteo-Terabyte table — the same O(table) footprint
+    :class:`FlatPendingStore` was built to avoid.  This class mirrors the
+    store's compact layout instead: per table, a sorted int64 array of
+    the rows currently referenced and a parallel int32 count array, both
+    sized to the *window's* row set and empty when nothing is cached.
+
+    Like the pending store (and the ``_in_sorted`` helper both lean on),
+    it relies on the window invariant that every entry's per-table row
+    array is **sorted and unique** — the ``np.unique`` output of the
+    epoch row streams and the self-feed path — so membership is one
+    ``searchsorted`` per batch.
+    """
+
+    def __init__(self, rows_per_table: tuple[int, ...]):
+        self.num_tables = len(rows_per_table)
+        self._rows: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(self.num_tables)
+        ]
+        self._counts: list[np.ndarray] = [
+            np.empty(0, dtype=np.int32) for _ in range(self.num_tables)
+        ]
+
+    def clear(self) -> None:
+        """Drop every reference (a window reset): all counts become zero."""
+        for table in range(self.num_tables):
+            self._rows[table] = np.empty(0, dtype=np.int64)
+            self._counts[table] = np.empty(0, dtype=np.int32)
+
+    @property
+    def nbytes(self) -> int:
+        """Bookkeeping bytes — O(referenced rows), never O(table)."""
+        return int(
+            sum(rows.nbytes for rows in self._rows)
+            + sum(counts.nbytes for counts in self._counts)
+        )
+
+    def tracked_rows(self, table: int) -> int:
+        """Rows of one table currently holding a non-zero reference count."""
+        return int(self._rows[table].size)
+
+    def enter(self, table: int, rows: np.ndarray) -> None:
+        """A batch enters the window: count its (sorted-unique) rows."""
+        if rows.size == 0:
+            return
+        held = self._rows[table]
+        counts = self._counts[table]
+        slots = np.searchsorted(held, rows)
+        in_bounds = slots < held.size
+        present = np.zeros(rows.size, dtype=bool)
+        present[in_bounds] = held[slots[in_bounds]] == rows[in_bounds]
+        counts[slots[present]] += 1
+        fresh = rows[~present]
+        if fresh.size:
+            insert_at = slots[~present]
+            self._rows[table] = np.insert(held, insert_at, fresh)
+            self._counts[table] = np.insert(counts, insert_at, np.int32(1))
+
+    def release(self, table: int, rows: np.ndarray) -> np.ndarray:
+        """A batch retires: drop one reference per row.
+
+        Returns the rows whose count reached zero (in input order — the
+        rows the cache must evict), and removes them from the layout so
+        the footprint tracks the live window.  Every released row must
+        currently be referenced (the window pairs each ``release`` with
+        an earlier ``enter`` of the same rows).
+        """
+        if rows.size == 0:
+            return rows
+        held = self._rows[table]
+        counts = self._counts[table]
+        slots = np.searchsorted(held, rows)
+        counts[slots] -= 1
+        zeroed = counts[slots] == 0
+        gone = rows[zeroed]
+        if gone.size:
+            keep = np.ones(held.size, dtype=bool)
+            keep[slots[zeroed]] = False
+            self._rows[table] = held[keep]
+            self._counts[table] = counts[keep]
+        return gone
+
+
 class CachedEmbeddingPipeline:
     """Lookahead-window embedding cache with bounded-staleness write-back.
 
@@ -703,7 +792,7 @@ class CachedEmbeddingPipeline:
             [np.empty(0, dtype=np.int64) for _ in range(num_tables)],
             self.rows_per_table,
         )
-        self._refcounts = [np.zeros(rows, dtype=np.int32) for rows in self.rows_per_table]
+        self._refcounts = WindowRefcounts(self.rows_per_table)
         self._entries: deque[_WindowEntry] = deque()
         self._stream: Iterator[list[np.ndarray]] | None = None
         #: Deferred write-back store (flat arrays by default).
@@ -739,6 +828,43 @@ class CachedEmbeddingPipeline:
     def peak_pending_bytes(self) -> int:
         """High-water mark of the store's allocation (0 if untracked)."""
         return int(getattr(self.pending, "peak_pending_bytes", 0))
+
+    @property
+    def refcount_bytes(self) -> int:
+        """Bytes of the window's compact refcount layout — O(cached rows)."""
+        return self._refcounts.nbytes
+
+    # ------------------------------------------------------------------ #
+    # Traffic pricing (one CommOp per charge)
+    # ------------------------------------------------------------------ #
+    def _fill_time(self, fills: int) -> float:
+        """Price one step's cache fills as a tiered ``fill`` op.
+
+        Resolves — through :func:`~repro.hwsim.collectives.comm_op_time`
+        — to exactly one :func:`~repro.hwsim.collectives.cache_fill_time`
+        call on the pipeline's link and DMA engine, so the engine's
+        traffic counters see one charge per priced fill batch, as before
+        the schedule-layer migration.
+        """
+        op = CommOp(
+            "fill",
+            tier="node",
+            rows=fills,
+            row_bytes=self.row_bytes,
+            participants=self.num_replicas,
+        )
+        return comm_op_time(op, FlatLinks(self.link), dma=self.dma)
+
+    def _writeback_time(self, rows: int) -> float:
+        """Price a write-back flush of ``rows`` as one ``writeback`` op.
+
+        One DMA write charge per flush — the counter-lifetime contract of
+        :class:`~repro.hwsim.dma.DMAEngine` requires exactly one pricing
+        call per charge, which is why every flush path funnels through
+        here.
+        """
+        op = CommOp("writeback", tier="pcie", rows=rows, row_bytes=self.row_bytes)
+        return comm_op_time(op, FlatLinks(self.link), dma=self.dma)
 
     # ------------------------------------------------------------------ #
     # Epoch lifecycle
@@ -788,8 +914,8 @@ class CachedEmbeddingPipeline:
     def _reset_window(self, stream: Iterator[list[np.ndarray]] | None) -> None:
         self._stream = iter(stream) if stream is not None else None
         self._entries.clear()
+        self._refcounts.clear()
         for table in range(self.num_tables):
-            self._refcounts[table][:] = 0
             self.cache.replace_table(table, np.empty(0, dtype=np.int64))
 
     def _flush_all(self) -> list[SparseGradient] | None:
@@ -818,7 +944,7 @@ class CachedEmbeddingPipeline:
         rows = sum(grad.nnz for grad in flushed)
         time_s = 0.0
         if self.link is not None and rows:
-            time_s = self.dma.write_time(rows * self.row_bytes, scattered=True)
+            time_s = self._writeback_time(rows)
         return flushed, rows, time_s
 
     def drain(self) -> list[SparseGradient] | None:
@@ -881,9 +1007,7 @@ class CachedEmbeddingPipeline:
             stats.cache_hits += lookups.size - misses
         stats.fill_rows = fills
         if self.link is not None and fills and self.price_fills:
-            stats.prefetch_time_s = cache_fill_time(
-                fills, self.row_bytes, self.num_replicas, self.link, dma=self.dma
-            )
+            stats.prefetch_time_s = self._fill_time(fills)
         if self._carry_rows:
             # The previous epoch's backlog wrote back at the boundary.
             stats.stale_rows += self._carry_rows
@@ -912,7 +1036,7 @@ class CachedEmbeddingPipeline:
             new_rows = table_rows[~cached]
             if new_rows.size:
                 self.cache.set_rows(table, new_rows)
-            self._refcounts[table][table_rows] += 1
+            self._refcounts.enter(table, table_rows)
             fresh.append(new_rows)
         self._entries.append(_WindowEntry(rows, fresh))
 
@@ -967,9 +1091,7 @@ class CachedEmbeddingPipeline:
             writeback_rows += grad_out.nnz
             flushed.append(grad_out)
         if self.link is not None and writeback_rows:
-            stats.prefetch_time_s += self.dma.write_time(
-                writeback_rows * self.row_bytes, scattered=True
-            )
+            stats.prefetch_time_s += self._writeback_time(writeback_rows)
         return flushed
 
     def _retire(self) -> list[np.ndarray]:
@@ -979,9 +1101,7 @@ class CachedEmbeddingPipeline:
         entry = self._entries.popleft()
         evicted: list[np.ndarray] = []
         for table, table_rows in enumerate(entry.rows):
-            refcounts = self._refcounts[table]
-            refcounts[table_rows] -= 1
-            gone = table_rows[refcounts[table_rows] == 0]
+            gone = self._refcounts.release(table, table_rows)
             if gone.size:
                 self.cache.clear_rows(table, gone)
             evicted.append(gone)

@@ -45,12 +45,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.schedule import CommOp, StepSchedule, allreduce_ops
 from repro.hwsim.cluster import Cluster
-from repro.hwsim.collectives import (
-    allreduce_time,
-    hierarchical_allreduce_time,
-    tree_allreduce_time,
-)
+from repro.hwsim.collectives import comm_op_time
 from repro.nn.embedding import SparseGradient, merge_sparse_gradients
 
 
@@ -316,26 +313,28 @@ class GradientBucketReducer:
     # ------------------------------------------------------------------ #
     # Simulated timing
     # ------------------------------------------------------------------ #
+    def bucket_comm_ops(self, num_bytes: float) -> tuple[CommOp, ...]:
+        """Tiered :class:`~repro.core.schedule.CommOp` decomposition of one
+        bucket's all-reduce on the attached cluster.
+
+        With no cluster (numeric-only use) or a single replica, nothing
+        moves.  Otherwise the decomposition follows the topology — one op
+        on a single node, intra+inter on a flat multi-node cluster, three
+        levels on a :class:`~repro.hwsim.cluster.HierarchicalTopology` —
+        with the ``tree`` algorithm swapping every level's ring for a
+        binary tree.
+        """
+        if self.cluster is None or self.num_replicas <= 1:
+            return ()
+        kind = "tree_allreduce" if self.algorithm == "tree" else "allreduce"
+        return allreduce_ops(self.cluster, num_bytes, self.num_replicas, kind=kind)
+
     def _bucket_wire_time(self, num_bytes: float) -> float:
         """Wire time of one bucket's all-reduce on the attached cluster."""
-        if self.cluster is None or self.num_replicas <= 1:
-            return 0.0
-        node = self.cluster.node
-        if self.algorithm == "tree":
-            if self.cluster.num_nodes == 1:
-                return tree_allreduce_time(num_bytes, self.num_replicas, node.gpu_link)
-            return tree_allreduce_time(
-                num_bytes, node.num_gpus, node.gpu_link
-            ) + tree_allreduce_time(num_bytes, self.cluster.num_nodes, self.cluster.inter_link)
-        if self.cluster.num_nodes == 1:
-            return allreduce_time(num_bytes, self.num_replicas, node.gpu_link)
-        return hierarchical_allreduce_time(
-            num_bytes,
-            node.num_gpus,
-            self.cluster.num_nodes,
-            node.gpu_link,
-            self.cluster.inter_link,
-        )
+        total = 0.0
+        for op in self.bucket_comm_ops(num_bytes):
+            total += comm_op_time(op, self.cluster)
+        return total
 
     def bucket_times(self, num_elements: int) -> list[float]:
         """Per-bucket all-reduce wire times for a flat gradient.
@@ -373,22 +372,34 @@ class GradientBucketReducer:
         in every mode, and ``compute_window_s == 0`` exposes the full wire
         time in every mode (there is no window to hide in).  A negative
         compute window is rejected — these paths go live under ``stale-k``.
+
+        The arithmetic itself lives in
+        :meth:`~repro.core.schedule.StepSchedule.exposed_time`; this
+        method maps the reducer's mode onto the matching schedule
+        composition (the golden parity suite pins bit equality with the
+        retired inline implementation).
         """
-        if compute_window_s < 0:
-            raise ValueError("compute_window_s must be >= 0")
-        if not bucket_times:
-            return 0.0
-        total = float(sum(bucket_times))
+        return self.comm_schedule(bucket_times).exposed_time(compute_window_s)
+
+    def comm_schedule(self, bucket_times: list[float]) -> StepSchedule:
+        """Wrap per-bucket wire times in the mode's schedule composition.
+
+        ``sync`` (and its ``stale-0`` alias) maps to ``sequential``,
+        ``overlap`` to ``overlap``, and ``stale-k`` with ``k > 0`` to
+        ``staged(k)``.
+        """
         if self.mode == "overlap":
-            count = len(bucket_times)
-            finish = 0.0
-            for i, wire_time in enumerate(bucket_times):
-                ready = compute_window_s * (i + 1) / count
-                finish = max(ready, finish) + wire_time
-            return max(0.0, finish - compute_window_s)
+            return StepSchedule.overlap(bucket_times, label="dense-allreduce")
         if self.staleness > 0:
-            return max(0.0, total - self.staleness * compute_window_s)
-        return total  # sync — and its stale-0 alias — expose everything
+            return StepSchedule.staged(
+                bucket_times, self.staleness, label="dense-allreduce"
+            )
+        return StepSchedule.sequential(bucket_times, label="dense-allreduce")
+
+    def step_schedule(self, num_elements: int) -> StepSchedule:
+        """The priced :class:`~repro.core.schedule.StepSchedule` of one
+        step's dense all-reduce over a flat gradient."""
+        return self.comm_schedule(self.bucket_times(num_elements))
 
     def schedule(self, num_elements: int, compute_window_s: float) -> BucketSchedule:
         """The full communication schedule of one step's dense all-reduce."""

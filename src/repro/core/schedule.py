@@ -1,0 +1,321 @@
+"""Composable communication schedules: one pricing layer for every consumer.
+
+Before this module, wire/communication timing was priced bespoke in four
+places — ``GradientBucketReducer.exposed_time``, the sparse lookup
+all-to-all, the lookahead cache's fill/write-back pricing, and the
+trainer's cached wire-time schedules.  Each caller reimplemented the same
+three questions:
+
+1. *What moves?*  — answered here by :class:`CommOp`, a declarative
+   primitive (all-reduce / all-to-all / broadcast / fill / write-back)
+   over a **named link tier** (``"gpu"``, ``"nic"``, ``"node"``,
+   ``"spine"``, ``"pcie"``) instead of a concrete :class:`Link`.  The tier
+   is resolved at pricing time against a topology (a flat
+   :class:`~repro.hwsim.cluster.Cluster`, a
+   :class:`~repro.hwsim.cluster.HierarchicalTopology`, or the single-link
+   :class:`FlatLinks` adapter), so the same op prices differently on a
+   4-GPU box and a 1,536-device oversubscribed fat-tree.
+
+2. *How does it overlap compute?* — answered by :class:`StepSchedule`,
+   an ordered sequence of wire-time segments plus a composition mode:
+
+   * ``sequential`` — fully exposed after compute (the reducer's
+     ``sync`` mode, and the lookup all-to-all);
+   * ``overlap`` — segment *i* becomes ready a fraction ``(i+1)/B`` into
+     the compute window and the link serialises segments; only the tail
+     that outlives the window is exposed (the reducer's ``overlap``
+     mode);
+   * ``staged(k)`` — the whole transfer pipelines behind the next ``k``
+     compute windows and only ``max(0, total - k * window)`` is exposed
+     (the reducer's ``stale-k`` family, and — with ``k = 1`` — the
+     lookahead prefetch that hides under the current step's compute).
+
+   ``exposed_time()`` reproduces the retired bespoke arithmetic bit for
+   bit; the golden parity suite pins that.
+
+3. *How do independent transfers add up?* — answered by
+   :class:`ComposedSchedule`: independent lanes (dense all-reduce, sparse
+   lookup, prefetch) each expose against the same compute window and the
+   step pays their left-to-right sum, exactly the trainer's historical
+   ``exposed + lookup_alltoall + exposed_prefetch`` composition.
+
+:func:`pipeline_makespan` rounds out the layer with the classic
+``(items + stages - 1) * stage_time`` fill-drain makespan used by the
+``fig30n`` nested-pipelining sweep (µ-batch pipelining inside stage
+pipelining, NestPipe-style).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.hwsim.collectives import comm_op_time
+from repro.hwsim.interconnect import Link
+
+#: Transfer primitives a CommOp can describe.
+COMM_OP_KINDS = (
+    "allreduce",
+    "tree_allreduce",
+    "alltoall",
+    "broadcast",
+    "embedding_alltoall",
+    "fill",
+    "writeback",
+)
+
+#: Composition modes a StepSchedule supports.
+SCHEDULE_MODES = ("sequential", "overlap", "staged")
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One declarative communication primitive over a named link tier.
+
+    Attributes:
+        kind: One of :data:`COMM_OP_KINDS`.  Collective kinds
+            (``allreduce``/``tree_allreduce``/``alltoall``/``broadcast``)
+            price ``num_bytes`` across ``participants``; the embedding
+            kinds (``embedding_alltoall``/``fill``/``writeback``) price
+            ``rows * row_bytes`` instead.
+        tier: Named link tier, resolved by the topology at pricing time
+            (``"gpu"``, ``"nic"``, ``"node"``, ``"spine"``, ``"pcie"``).
+        num_bytes: Payload for the collective kinds (per-device payload
+            for ``alltoall``).
+        participants: Devices taking part.  ``<= 1`` prices to zero for
+            every kind that moves data between peers.
+        rows: Embedding rows for the row-based kinds.
+        row_bytes: Bytes per embedding row for the row-based kinds.
+    """
+
+    kind: str
+    tier: str = "gpu"
+    num_bytes: float = 0.0
+    participants: int = 1
+    rows: float = 0.0
+    row_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in COMM_OP_KINDS:
+            raise ValueError(
+                f"kind must be one of {COMM_OP_KINDS}, got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FlatLinks:
+    """Single-link topology adapter: every tier resolves to one link.
+
+    The lookahead pipeline owns a single ``link`` attribute rather than a
+    cluster; wrapping it in a ``FlatLinks`` lets it price :class:`CommOp`
+    objects through the same tiered interface as a real topology.
+    """
+
+    flat: Link | None = None
+
+    def link(self, tier: str) -> Link | None:
+        """Resolve any tier to the wrapped link."""
+        return self.flat
+
+
+@dataclass(frozen=True)
+class StepSchedule:
+    """An ordered sequence of wire-time segments plus a composition mode.
+
+    ``segments_s`` are the per-transfer wire times in schedule order (the
+    reducer's per-bucket times, or a tiered decomposition's per-tier
+    times).  ``mode`` decides how the segments overlap a compute window
+    when :meth:`exposed_time` is asked what the step actually pays.
+    """
+
+    segments_s: tuple[float, ...]
+    mode: str = "sequential"
+    stages: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in SCHEDULE_MODES:
+            raise ValueError(
+                f"mode must be one of {SCHEDULE_MODES}, got {self.mode!r}"
+            )
+        if self.mode == "staged" and self.stages < 1:
+            raise ValueError("staged schedules need at least one stage to hide in")
+
+    # -------------------------------------------------------------- #
+    # Constructors
+    # -------------------------------------------------------------- #
+    @classmethod
+    def sequential(cls, times: Iterable[float], label: str = "") -> StepSchedule:
+        """Fully-exposed schedule (the reducer's ``sync`` composition)."""
+        return cls(segments_s=tuple(times), mode="sequential", label=label)
+
+    @classmethod
+    def overlap(cls, times: Iterable[float], label: str = "") -> StepSchedule:
+        """Segments pipeline behind the compute window as they become ready."""
+        return cls(segments_s=tuple(times), mode="overlap", label=label)
+
+    @classmethod
+    def staged(cls, times: Iterable[float], stages: int, label: str = "") -> StepSchedule:
+        """The transfer hides under the next ``stages`` compute windows."""
+        return cls(segments_s=tuple(times), mode="staged", stages=int(stages), label=label)
+
+    @classmethod
+    def price(
+        cls,
+        ops: Iterable[CommOp],
+        links,
+        *,
+        mode: str = "sequential",
+        stages: int = 1,
+        dma=None,
+        label: str = "",
+    ) -> StepSchedule:
+        """Price each op against a tiered topology into one schedule.
+
+        ``links`` is anything with a ``link(tier)`` method (a
+        :class:`~repro.hwsim.cluster.Cluster`, a
+        :class:`~repro.hwsim.cluster.HierarchicalTopology`, or a
+        :class:`FlatLinks`); ``dma`` threads a live DMA engine through to
+        the fill/write-back kinds so their traffic counters accumulate.
+        """
+        return cls(
+            segments_s=tuple(comm_op_time(op, links, dma=dma) for op in ops),
+            mode=mode,
+            stages=int(stages),
+            label=label,
+        )
+
+    # -------------------------------------------------------------- #
+    # Timing
+    # -------------------------------------------------------------- #
+    @property
+    def total_s(self) -> float:
+        """Total wire time across segments, hidden or not."""
+        return float(sum(self.segments_s))
+
+    def exposed_time(self, compute_window_s: float) -> float:
+        """Communication time the step *pays* for, given a compute window.
+
+        Reproduces the retired ``GradientBucketReducer.exposed_time``
+        arithmetic exactly (the golden parity suite asserts bit
+        equality): an empty schedule exposes ``0.0`` in every mode, a
+        zero window exposes the full wire time, and a negative window is
+        rejected.
+        """
+        if compute_window_s < 0:
+            raise ValueError("compute_window_s must be >= 0")
+        if not self.segments_s:
+            return 0.0
+        total = float(sum(self.segments_s))
+        if self.mode == "overlap":
+            count = len(self.segments_s)
+            finish = 0.0
+            for i, wire_time in enumerate(self.segments_s):
+                ready = compute_window_s * (i + 1) / count
+                finish = max(ready, finish) + wire_time
+            return max(0.0, finish - compute_window_s)
+        if self.mode == "staged":
+            return max(0.0, total - self.stages * compute_window_s)
+        return total  # sequential — everything is exposed
+
+
+@dataclass(frozen=True)
+class ComposedSchedule:
+    """Independent communication lanes exposing against one compute window.
+
+    The step pays the left-to-right sum of each lane's exposure — exactly
+    the trainer's historical ``exposed + lookup_alltoall +
+    exposed_prefetch`` composition (the fold starts at ``0.0``, and
+    ``0.0 + x == x`` bitwise for the non-negative exposures involved).
+    """
+
+    lanes: tuple[StepSchedule, ...] = field(default_factory=tuple)
+
+    @property
+    def total_s(self) -> float:
+        """Total wire time across all lanes."""
+        return float(sum(lane.total_s for lane in self.lanes))
+
+    def exposed_time(self, compute_window_s: float) -> float:
+        """Sum of per-lane exposures, in lane order."""
+        exposed = 0.0
+        for lane in self.lanes:
+            exposed += lane.exposed_time(compute_window_s)
+        return exposed
+
+    def lane_exposures(self, compute_window_s: float) -> tuple[tuple[str, float], ...]:
+        """Per-lane ``(label, exposed_s)`` pairs for step accounting."""
+        return tuple(
+            (lane.label, lane.exposed_time(compute_window_s)) for lane in self.lanes
+        )
+
+
+def allreduce_ops(
+    topology,
+    num_bytes: float,
+    participants: int,
+    *,
+    kind: str = "allreduce",
+) -> tuple[CommOp, ...]:
+    """Tier decomposition of one all-reduce on a topology.
+
+    * ``None`` topology or a single participant: nothing moves.
+    * Single node: one op across all participants on the ``gpu`` tier.
+    * Flat multi-node :class:`~repro.hwsim.cluster.Cluster`: intra-node op
+      over ``node.num_gpus`` then inter-node op over ``num_nodes`` — the
+      exact two-ring decomposition of
+      :func:`~repro.hwsim.collectives.hierarchical_allreduce_time`, so
+      summing the priced ops is bit-identical to the retired call.
+    * :class:`~repro.hwsim.cluster.HierarchicalTopology`: three levels —
+      ``gpu`` (per NIC group), ``nic`` (across a node's NIC groups, when
+      there are several), ``spine`` (across nodes, paying the
+      oversubscription derate).
+    """
+    if topology is None or participants <= 1:
+        return ()
+    num_nodes = topology.num_nodes
+    if num_nodes == 1:
+        return (
+            CommOp(kind, tier="gpu", num_bytes=num_bytes, participants=participants),
+        )
+    node = getattr(topology, "node", None)
+    if node is not None:  # flat Cluster — preserve the two-level decomposition
+        return (
+            CommOp(kind, tier="gpu", num_bytes=num_bytes, participants=node.num_gpus),
+            CommOp(kind, tier="node", num_bytes=num_bytes, participants=num_nodes),
+        )
+    ops = [
+        CommOp(kind, tier="gpu", num_bytes=num_bytes, participants=topology.gpus_per_nic)
+    ]
+    if topology.nics_per_node > 1:
+        ops.append(
+            CommOp(kind, tier="nic", num_bytes=num_bytes, participants=topology.nics_per_node)
+        )
+    ops.append(CommOp(kind, tier="spine", num_bytes=num_bytes, participants=num_nodes))
+    return tuple(ops)
+
+
+def pipeline_makespan(stage_time_s: float, num_stages: int, num_items: int) -> float:
+    """Fill-drain makespan of ``num_items`` through ``num_stages`` stages.
+
+    The classic ``(items + stages - 1) * stage_time`` of a balanced
+    pipeline: the first item pays the full depth, every further item one
+    more stage beat.  Zero items (or stages) take no time.
+    """
+    if stage_time_s < 0:
+        raise ValueError("stage_time_s must be >= 0")
+    if num_stages <= 0 or num_items <= 0:
+        return 0.0
+    return (num_items + num_stages - 1) * stage_time_s
+
+
+__all__ = [
+    "COMM_OP_KINDS",
+    "SCHEDULE_MODES",
+    "CommOp",
+    "ComposedSchedule",
+    "FlatLinks",
+    "StepSchedule",
+    "allreduce_ops",
+    "pipeline_makespan",
+]

@@ -26,8 +26,9 @@ from repro.baselines import (
 from repro.core import HotlineScheduler
 from repro.core.distributed import MergedGradientShardedTrainer, ShardedHotlineTrainer
 from repro.core.reducer import GradientBucketReducer
+from repro.core.schedule import CommOp, StepSchedule, allreduce_ops, pipeline_makespan
 from repro.data import MiniBatchLoader, generate_click_log
-from repro.hwsim import multi_node, single_node
+from repro.hwsim import DMAEngine, HierarchicalTopology, multi_node, single_node
 from repro.models import RM1, RM2, RM3, RM4, SYN_M1, SYN_M2
 from repro.models.dlrm import DLRM
 from repro.perf import TrainingCostModel
@@ -389,6 +390,143 @@ def _fig30_stale_lookahead() -> dict:
     return result
 
 
+def _fig30_nested_pipeline() -> dict:
+    """Hotline split vs nested µ-batch × stage pipelining at scale (fig30n).
+
+    Sweeps 8 → 1,536 simulated devices on a :class:`HierarchicalTopology`
+    (4 GPUs per NIC, 2 NICs per node, 4:1 oversubscribed spine) and prices
+    two execution arms with the same schedule layer:
+
+    * **Hotline** — the paper's popular/non-popular split, data-parallel
+      across *all* devices.  The popular µ-batch computes while the cold
+      rows of the non-popular µ-batch stream over PCIe (a ``fill``
+      :class:`CommOp` hidden ``staged(1)`` behind the popular window);
+      the price of admission is a full dense-gradient all-reduce whose
+      spine ring spans every node, so its latency term grows linearly
+      with the node count and its bandwidth term pays the 4:1 derate.
+
+    * **NestPipe** — intra-node µ-batch pipelining nested inside
+      inter-node stage pipelining.  Each pipeline replica spans
+      ``S = min(8, nodes)`` node-stages (a node's 8 GPUs work one
+      µ-batch's share data-parallel; the model's layers split across the
+      S stages), ``M = 4·S`` µ-batches fill the pipe, and activations hop
+      nearest-neighbour over the NIC tier — never the spine.  Only
+      ``R = nodes / S`` replica peers ring over the spine, and each
+      syncs just its own stage's ``1/S`` slice of the dense gradient, so
+      the spine term is roughly ``S × R``-fold smaller.  The cost is the
+      classic fill/drain bubble, ``(M + S - 1) / M ≈ 1.22`` of pure
+      compute, plus per-µ-batch activation hops.
+
+    Both arms pay identical embedding-lookup work (it cancels in the
+    comparison and is omitted); they differ only in execution schedule and
+    dense synchronisation.  At small scale the bubble makes NestPipe lose;
+    past the crossover the Hotline arm's whole-cluster spine ring costs
+    more than the bubble, which is the scale where the popular/non-popular
+    split stops paying.  The reported ``crossover_devices`` is the first
+    sweep point where NestPipe wins.
+    """
+    costs = TrainingCostModel(RM2)
+    model = costs.model
+    overhead = costs.overheads.gpu_iteration_overhead_s
+    dense_bytes = model.dense_parameter_count * 4.0
+    row_bytes = model.bytes_per_lookup()
+    batch = _BATCH_PER_GPU
+    # Only the pooled interaction vector crosses a stage boundary — the
+    # per-sample feature the top MLP consumes — not raw activations.
+    act_bytes_per_sample = 64.0
+
+    def _mlp(samples_per_gpu: float) -> float:
+        samples = max(1, int(samples_per_gpu))
+        return costs.mlp_forward_time(samples) + costs.mlp_backward_time(samples)
+
+    result: dict = {"sweep": {}, "crossover_devices": None}
+    for devices in (8, 32, 128, 512, 1024, 1536):
+        nodes = devices // 8
+        topo = HierarchicalTopology(
+            gpus_per_nic=4, nics_per_node=2, num_nodes=nodes, oversubscription=4.0
+        )
+
+        # --- Hotline arm: popular/non-popular split, all-device sync --- #
+        popular = costs.hot_fraction * batch
+        non_popular = batch - popular
+        popular_exec = _mlp(popular)
+        non_popular_exec = _mlp(non_popular)
+        cold_rows = (1.0 - costs.hot_lookup_fraction) * costs.lookups(int(non_popular))
+        gather = StepSchedule.price(
+            (CommOp("fill", tier="pcie", rows=cold_rows, row_bytes=row_bytes),),
+            topo,
+            mode="staged",
+            stages=1,
+            dma=DMAEngine(),
+            label="cold-gather",
+        )
+        exposed_gather = gather.exposed_time(popular_exec)
+        hotline_dense = StepSchedule.price(
+            allreduce_ops(topo, dense_bytes, devices), topo, label="dense-allreduce"
+        )
+        hotline_step = (
+            overhead
+            + popular_exec
+            + exposed_gather
+            + non_popular_exec
+            + hotline_dense.total_s
+        )
+
+        # --- NestPipe arm: µ-batch pipelining inside stage pipelining --- #
+        stages = min(8, nodes)
+        replicas = max(1, nodes // stages)
+        microbatches = 4 * stages
+        # Each replica spans S nodes and owns their combined batch; a
+        # µ-batch therefore carries a fixed 2 × 8 × _BATCH_PER_GPU / 8
+        # samples regardless of depth.
+        microbatch_samples = topo.gpus_per_node * stages * batch / microbatches
+        stage_compute = _mlp(microbatch_samples / topo.gpus_per_node) / stages
+        if stages > 1:
+            act_time = topo.link("nic").transfer_time(
+                2.0 * microbatch_samples * act_bytes_per_sample
+            )
+        else:
+            act_time = 0.0
+        makespan = pipeline_makespan(max(stage_compute, act_time), stages, microbatches)
+        nested_ops = [
+            CommOp(
+                "allreduce",
+                tier="gpu",
+                num_bytes=dense_bytes / stages,
+                participants=topo.gpus_per_node,
+            )
+        ]
+        if replicas > 1:
+            nested_ops.append(
+                CommOp(
+                    "allreduce",
+                    tier="spine",
+                    num_bytes=dense_bytes / stages,
+                    participants=replicas,
+                )
+            )
+        nested_dense = StepSchedule.price(nested_ops, topo, label="stage-allreduce")
+        nested_step = overhead + makespan + nested_dense.total_s
+
+        result["sweep"][devices] = {
+            "devices": devices,
+            "nodes": nodes,
+            "hotline_step_s": hotline_step,
+            "hotline_dense_sync_s": hotline_dense.total_s,
+            "hotline_exposed_gather_s": exposed_gather,
+            "nested_step_s": nested_step,
+            "nested_dense_sync_s": nested_dense.total_s,
+            "nested_makespan_s": makespan,
+            "pipeline_stages": stages,
+            "pipeline_replicas": replicas,
+            "microbatches": microbatches,
+            "nested_speedup": hotline_step / nested_step,
+        }
+        if result["crossover_devices"] is None and nested_step < hotline_step:
+            result["crossover_devices"] = devices
+    return result
+
+
 _EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("fig3", "Hybrid CPU-GPU training-time breakdown", _fig3_hybrid_breakdown),
     Experiment("fig4", "Single-node GPU-only training-time breakdown", _fig4_gpu_only_breakdown),
@@ -416,6 +554,11 @@ _EXPERIMENTS: tuple[Experiment, ...] = (
         "fig30s",
         "Convergence-vs-exposure sweep: stale-k × cached lookahead window",
         _fig30_stale_lookahead,
+    ),
+    Experiment(
+        "fig30n",
+        "Nested µ-batch × stage pipelining vs Hotline split, swept to 1,536 devices",
+        _fig30_nested_pipeline,
     ),
 )
 

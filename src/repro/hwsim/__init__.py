@@ -12,11 +12,18 @@ communication costs.  All figures in the paper are ratio/shape claims, which
 this level of modelling preserves.
 """
 
-from repro.hwsim.cluster import Cluster, Node, multi_node, single_node
+from repro.hwsim.cluster import (
+    Cluster,
+    HierarchicalTopology,
+    Node,
+    multi_node,
+    single_node,
+)
 from repro.hwsim.collectives import (
     allreduce_time,
     alltoall_time,
     broadcast_time,
+    comm_op_time,
     embedding_alltoall_time,
     gather_time,
     hierarchical_allreduce_time,
@@ -63,12 +70,14 @@ __all__ = [
     "allreduce_time",
     "alltoall_time",
     "broadcast_time",
+    "comm_op_time",
     "embedding_alltoall_time",
     "gather_time",
     "hierarchical_allreduce_time",
     "tree_allreduce_time",
     "Node",
     "Cluster",
+    "HierarchicalTopology",
     "single_node",
     "multi_node",
     "Event",

@@ -139,3 +139,40 @@ def hierarchical_allreduce_time(
     intra = allreduce_time(num_bytes, gpus_per_node, intra_link)
     inter = allreduce_time(num_bytes, nodes, inter_link)
     return intra + inter
+
+
+def comm_op_time(op, links, dma: DMAEngine | None = None) -> float:
+    """Price one :class:`~repro.core.schedule.CommOp` on a tiered topology.
+
+    ``links`` is anything with a ``link(tier)`` method resolving a named
+    tier to a :class:`Link` — a :class:`~repro.hwsim.cluster.Cluster`, a
+    :class:`~repro.hwsim.cluster.HierarchicalTopology`, or the
+    single-link :class:`~repro.core.schedule.FlatLinks` adapter.  Each
+    kind dispatches to exactly one of this module's ``*_time`` primitives
+    (or, for ``writeback``, one DMA write), so schedule-object pricing is
+    bit-identical to calling the primitive directly.  ``dma`` threads a
+    live engine through to the fill/write-back kinds so their traffic
+    counters keep accumulating; with ``None`` a transient engine prices
+    without recording.
+    """
+    kind = op.kind
+    link = links.link(op.tier)
+    if kind == "allreduce":
+        return allreduce_time(op.num_bytes, op.participants, link)
+    if kind == "tree_allreduce":
+        return tree_allreduce_time(op.num_bytes, op.participants, link)
+    if kind == "alltoall":
+        return alltoall_time(op.num_bytes, op.participants, link)
+    if kind == "broadcast":
+        return broadcast_time(op.num_bytes, op.participants, link)
+    if kind == "embedding_alltoall":
+        return embedding_alltoall_time(op.rows, op.row_bytes, op.participants, link)
+    if kind == "fill":
+        return cache_fill_time(op.rows, op.row_bytes, op.participants, link, dma=dma)
+    if kind == "writeback":
+        num_bytes = op.rows * op.row_bytes
+        if num_bytes <= 0:
+            return 0.0
+        engine = dma if dma is not None else DMAEngine()
+        return engine.write_time(num_bytes, scattered=True)
+    raise ValueError(f"unknown CommOp kind {kind!r}")

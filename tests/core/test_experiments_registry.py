@@ -80,3 +80,36 @@ def test_fig30_stale_lookahead_registered():
     ids = [experiment.id for experiment in list_experiments()]
     assert "fig30s" in ids
     assert ids.index("fig30s") == ids.index("fig30r") + 1
+
+
+def test_fig30_nested_pipeline_registered():
+    ids = [experiment.id for experiment in list_experiments()]
+    assert "fig30n" in ids
+    assert ids.index("fig30n") == ids.index("fig30s") + 1
+
+
+@pytest.mark.slow
+def test_fig30n_sweeps_past_1024_devices_and_reports_crossover():
+    """Acceptance: the nested-pipelining sweep reaches >= 1,024 simulated
+    devices on the hierarchical topology and locates the scale where the
+    Hotline split stops paying relative to nested stage pipelining."""
+    data = run_experiment("fig30n")
+    sweep = data["sweep"]
+    assert max(sweep) >= 1024
+    for devices, row in sweep.items():
+        assert row["nodes"] * 8 == devices
+        assert row["hotline_step_s"] > 0.0 and row["nested_step_s"] > 0.0
+        assert row["pipeline_stages"] * row["pipeline_replicas"] == row["nodes"]
+    smallest, largest = min(sweep), max(sweep)
+    # The popular/non-popular split pays at testbed scale...
+    assert sweep[smallest]["nested_speedup"] < 1.0
+    # ...and stops paying at the large end, inside the sweep.
+    assert sweep[largest]["nested_speedup"] > 1.0
+    crossover = data["crossover_devices"]
+    assert crossover is not None and smallest < crossover <= largest
+    # Hotline's whole-cluster spine all-reduce is what grows; the nested
+    # arm's per-stage replica ring stays far cheaper at the large end.
+    assert (
+        sweep[largest]["hotline_dense_sync_s"]
+        > 5.0 * sweep[largest]["nested_dense_sync_s"]
+    )
