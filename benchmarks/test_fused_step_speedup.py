@@ -36,9 +36,12 @@ from repro.models.dlrm import DLRM
 #: Ratcheted 1.05 -> 1.04 once interleaved timing alternated the A/B order
 #: per round (killing the warm-cache bias that inflated the bound), then
 #: 1.04 -> 1.03 with the PR 7 packed dense path: the fused step now beats
-#: sequential outright (~0.93-1.00x recorded), so the bound tightens to
-#: pure measurement noise.
-MAX_SLOWDOWN = 1.03
+#: sequential outright (~0.93-1.00x recorded).  Tightened 1.03 -> 1.02 with
+#: the PR 10 single-pass interaction + fused loss epilogue: the dense work
+#: both contenders share shrank (~1.1x+ step speedup), so the fused path's
+#: relative overhead bound keeps ratcheting toward 1.0 as ROADMAP item 4
+#: asks.
+MAX_SLOWDOWN = 1.02
 
 
 def make_trainer(config, log, fused):

@@ -570,6 +570,8 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         #: Measured dense-section wall seconds of the most recent step,
         #: summed over replicas.
         self.last_dense_time_s = 0.0
+        #: Interaction/attention share of ``last_dense_time_s``.
+        self.last_interaction_time_s = 0.0
 
     # ------------------------------------------------------------------ #
     # Dense-gradient plumbing
@@ -775,7 +777,14 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         global_batch_size: int,
         mask: np.ndarray | None,
     ) -> tuple[
-        list[float], list[np.ndarray], list[list[SparseGradient]], int, int, float, float
+        list[float],
+        list[np.ndarray],
+        list[list[SparseGradient]],
+        int,
+        int,
+        float,
+        float,
+        float,
     ]:
         """One replica's forward/backward over its shard, thread-safely.
 
@@ -785,7 +794,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         needs to assemble the globally-ordered partials:
         ``(per-segment losses, per-segment flat dense partials, per-table
         per-segment sparse partials, popular count, remote lookups, wall
-        seconds, dense-section wall seconds)``.
+        seconds, dense-section wall seconds, interaction wall seconds)``.
         """
         start = perf_counter()
         remote = (
@@ -843,6 +852,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             remote,
             perf_counter() - start,
             replica.model.last_dense_time_s if self.fused else 0.0,
+            replica.model.last_interaction_time_s if self.fused else 0.0,
         )
 
     def _stacked_replica_step(self, work, batch: MiniBatch) -> list[tuple]:
@@ -911,6 +921,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         )
         wall = perf_counter() - start
         dense_s = model.last_dense_time_s
+        interaction_s = model.last_interaction_time_s
         results = []
         pos = 0
         for i, (_sid, shard_batch, _replica, _gbs, _mask) in enumerate(work):
@@ -925,6 +936,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
                     remotes[i],
                     wall * share,
                     dense_s * share,
+                    interaction_s * share,
                 )
             )
             pos += count
@@ -1010,6 +1022,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
         ]
         replica_times = [0.0] * self.num_shards
         dense_time = 0.0
+        interaction_time = 0.0
         for (shard_id, _, _, _, _), (
             losses,
             replica_dense,
@@ -1018,6 +1031,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             remote,
             wall_s,
             dense_s,
+            interaction_s,
         ) in zip(work, results, strict=True):
             for loss in losses:
                 total_loss += loss
@@ -1028,8 +1042,10 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             remote_lookups += remote
             replica_times[shard_id] = wall_s
             dense_time += dense_s
+            interaction_time += interaction_s
         self.last_replica_times = tuple(replica_times)
         self.last_dense_time_s = dense_time
+        self.last_interaction_time_s = interaction_time
         self.last_remote_lookups = remote_lookups
 
         reduced = self.reducer.reduce(dense_partials) if dense_partials else None
@@ -1263,6 +1279,7 @@ class ShardedHotlineTrainer(_ShardedTrainerBase):
             prefetch_time_s=prefetch,
             replica_times_s=self.last_replica_times,
             dense_time_s=self.last_dense_time_s,
+            interaction_time_s=self.last_interaction_time_s,
             pending_bytes=(
                 self.lookahead.peak_pending_bytes if self.lookahead is not None else 0
             ),

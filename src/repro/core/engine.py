@@ -85,6 +85,10 @@ class TrainingResult:
         dense_time_s: Measured (host) wall-clock seconds of the fused
             dense sections across the run (all replicas) — the measured,
             not inferred, MLP/interaction share of the training walltime.
+        interaction_time_s: The feature-interaction share of
+            ``dense_time_s`` across the run — DLRM's dot-interaction
+            forward+backward, TBSM's attention forward+backward — so the
+            dense breakdown separates interaction cost from MLP GEMMs.
         pending_peak_bytes: High-water mark of the lookahead pipeline's
             deferred write-back store across the run (max over steps).
             The window-bound invariant keeps this proportional to the
@@ -113,6 +117,7 @@ class TrainingResult:
     prefetch_time_s: float = 0.0
     replica_time_s: list[float] = field(default_factory=list)
     dense_time_s: float = 0.0
+    interaction_time_s: float = 0.0
     pending_peak_bytes: int = 0
     tier_hits: int = 0
     tier_misses: int = 0
@@ -184,6 +189,9 @@ class StepOutcome:
             dense section (MLPs + interaction/attention + loss) took,
             summed over replicas — the directly-measured MLP share of the
             step (``0.0`` for executors without a fused dense pass).
+        interaction_time_s: The feature-interaction share of
+            ``dense_time_s`` (dot-interaction for DLRM, attention for
+            TBSM), summed over replicas — always ≤ ``dense_time_s``.
         pending_bytes: High-water mark of the lookahead pipeline's
             deferred write-back store up to and including this step
             (window-bounded: proportional to the cached row set, never
@@ -208,6 +216,7 @@ class StepOutcome:
     prefetch_time_s: float = 0.0
     replica_times_s: tuple[float, ...] = ()
     dense_time_s: float = 0.0
+    interaction_time_s: float = 0.0
     pending_bytes: int = 0
     tier_hits: int = 0
     tier_misses: int = 0
@@ -403,6 +412,7 @@ class TrainingEngine:
                 result.stale_rows += outcome.stale_rows
                 result.prefetch_time_s += outcome.prefetch_time_s
                 result.dense_time_s += outcome.dense_time_s
+                result.interaction_time_s += outcome.interaction_time_s
                 result.pending_peak_bytes = max(
                     result.pending_peak_bytes, outcome.pending_bytes
                 )

@@ -263,6 +263,9 @@ class HotlineTrainer(StepExecutor):
         if self.fused:
             # Measured (not inferred) MLP/interaction share of the step.
             outcome.dense_time_s = getattr(self.model, "last_dense_time_s", 0.0)
+            outcome.interaction_time_s = getattr(
+                self.model, "last_interaction_time_s", 0.0
+            )
         return outcome
 
     def train(

@@ -28,11 +28,10 @@ from repro.nn.embedding import (
     stacked_segmented_scatter,
 )
 from repro.nn.interaction import (
-    dot_interaction,
-    dot_interaction_backward,
+    DotInteractionKernel,
     interaction_output_dim,
 )
-from repro.nn.loss import bce_with_logits, bce_with_logits_backward, predicted_probabilities
+from repro.nn.loss import fused_bce_epilogue, predicted_probabilities
 from repro.nn.mlp import MLP
 
 
@@ -93,9 +92,14 @@ class DLRM:
         self.batched = batched
         self._packed_bottom = PackedMLP(self.bottom_mlp)
         self._packed_top = PackedMLP(self.top_mlp)
+        #: Workspace-pooled interaction kernel — one per model instance
+        #: (deepcopied replicas get fresh, unshared buffers).
+        self._interaction = DotInteractionKernel()
         #: Measured wall seconds of the last fused step's dense section
         #: (MLPs + interaction + loss; pooling/scatter excluded).
         self.last_dense_time_s = 0.0
+        #: Interaction forward+backward share of ``last_dense_time_s``.
+        self.last_interaction_time_s = 0.0
 
     # ------------------------------------------------------------------ #
     # Forward / backward
@@ -110,7 +114,7 @@ class DLRM:
         sparse_out = [
             table.forward(batch.sparse[:, t, :]) for t, table in enumerate(self.tables)
         ]
-        interaction, cache = dot_interaction(dense_out, sparse_out)
+        interaction, cache = self._interaction.forward(dense_out, sparse_out)
         self._interaction_cache = cache
         logits = self.top_mlp.forward(interaction)
         return logits.reshape(-1)
@@ -124,7 +128,7 @@ class DLRM:
         if self._interaction_cache is None:
             raise RuntimeError("backward called before forward")
         grad_interaction = self.top_mlp.backward(grad_logits.reshape(-1, 1))
-        grad_dense, grad_sparse = dot_interaction_backward(
+        grad_dense, grad_sparse = self._interaction.backward(
             grad_interaction, self._interaction_cache
         )
         self.bottom_mlp.backward(grad_dense)
@@ -156,8 +160,7 @@ class DLRM:
                 baseline's (Eq. 5).
         """
         logits = self.forward(batch)
-        loss = bce_with_logits(logits, batch.labels, reduction="sum")
-        grad_logits = bce_with_logits_backward(logits, batch.labels, reduction="sum")
+        loss, grad_logits = fused_bce_epilogue(logits, batch.labels)
         if normalizer is not None:
             if normalizer <= 0:
                 raise ValueError("normalizer must be positive")
@@ -236,25 +239,32 @@ class DLRM:
         else:
             losses = []
             grad_pooled = [[] for _ in range(num_tables)]
+            interaction_s = 0.0
             for s, idx in enumerate(segments):
                 dense_out = self.bottom_mlp.forward(batch.dense[idx])
-                interaction, cache = dot_interaction(
+                mark = perf_counter()
+                interaction, cache = self._interaction.forward(
                     dense_out, [pooled[t][idx] for t in range(num_tables)]
                 )
+                interaction_s += perf_counter() - mark
                 logits = self.top_mlp.forward(interaction).reshape(-1)
                 labels = batch.labels[idx]
-                loss = float(bce_with_logits(logits, labels, reduction="sum"))
-                grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
+                loss, grad_logits = fused_bce_epilogue(logits, labels)
                 if normalizer is not None:
                     grad_logits = grad_logits / normalizer
                 grad_interaction = self.top_mlp.backward(grad_logits.reshape(-1, 1))
-                grad_dense, grad_sparse = dot_interaction_backward(grad_interaction, cache)
+                mark = perf_counter()
+                grad_dense, grad_sparse = self._interaction.backward(
+                    grad_interaction, cache
+                )
+                interaction_s += perf_counter() - mark
                 self.bottom_mlp.backward(grad_dense)
                 for t in range(num_tables):
                     grad_pooled[t].append(grad_sparse[t])
                 losses.append(loss)
                 if after_segment is not None:
                     after_segment(s, loss)
+            self.last_interaction_time_s = interaction_s
         self.last_dense_time_s = perf_counter() - dense_start
         pooling = batch.pooling
         if self.stacked is not None:
@@ -314,25 +324,35 @@ class DLRM:
         perm = segments[0] if len(segments) == 1 else np.concatenate(segments)
         bounds = segment_bounds(segments)
         dense_out = self._packed_bottom.forward(batch.dense[perm], bounds)
-        interaction, cache = dot_interaction(
+        mark = perf_counter()
+        interaction, cache = self._interaction.forward(
             dense_out, [pooled[t][perm] for t in range(num_tables)]
         )
-        logits = self._packed_top.forward(interaction, bounds).reshape(-1)
+        interaction_s = perf_counter() - mark
+        if self._packed_top.has_logit_epilogue:
+            # Deferred-bias epilogue: the final GEMM skips its broadcast
+            # bias add and the scalar bias folds into the fused loss pass —
+            # elementwise, so bit-identical to forward() + reshape.
+            logits = self._packed_top.forward_prelogits(interaction, bounds)
+            logits = logits + self._packed_top.logit_bias
+        else:
+            logits = self._packed_top.forward(interaction, bounds).reshape(-1)
         labels = batch.labels[perm]
         losses: list[float] = []
         grad_logits = np.empty_like(logits)
         for lo, hi in bounds:
-            losses.append(
-                float(bce_with_logits(logits[lo:hi], labels[lo:hi], reduction="sum"))
-            )
-            seg_grad = bce_with_logits_backward(
-                logits[lo:hi], labels[lo:hi], reduction="sum"
-            )
-            if normalizer is not None:
-                seg_grad = seg_grad / normalizer
+            loss, seg_grad = fused_bce_epilogue(logits[lo:hi], labels[lo:hi])
+            losses.append(loss)
             grad_logits[lo:hi] = seg_grad
+        if normalizer is not None:
+            # Whole-block division is elementwise — bit-identical to the
+            # former per-segment ``seg_grad / normalizer`` slices.
+            grad_logits /= normalizer
         grad_interaction = self._packed_top.backward(grad_logits.reshape(-1, 1), bounds)
-        grad_dense, grad_sparse = dot_interaction_backward(grad_interaction, cache)
+        mark = perf_counter()
+        grad_dense, grad_sparse = self._interaction.backward(grad_interaction, cache)
+        interaction_s += perf_counter() - mark
+        self.last_interaction_time_s = interaction_s
         # The bottom MLP's input gradient is discarded by every caller —
         # the packed path skips that (dead) first-layer GEMM entirely.
         self._packed_bottom.backward(grad_dense, bounds, need_input_grad=False)

@@ -31,7 +31,7 @@ from repro.nn.embedding import (
     segmented_scatter,
     stacked_segmented_scatter,
 )
-from repro.nn.loss import bce_with_logits, bce_with_logits_backward, predicted_probabilities
+from repro.nn.loss import fused_bce_epilogue, predicted_probabilities
 from repro.nn.mlp import MLP
 
 
@@ -86,6 +86,9 @@ class TBSM:
         #: Measured wall seconds of the last fused step's dense section
         #: (MLPs + attention + loss; gathers/scatter excluded).
         self.last_dense_time_s = 0.0
+        #: Attention forward+backward share of ``last_dense_time_s`` —
+        #: TBSM's feature-interaction analog of DLRM's dot interaction.
+        self.last_interaction_time_s = 0.0
 
     def forward(self, batch: MiniBatch) -> np.ndarray:
         """Compute CTR logits, shape (batch,)."""
@@ -160,8 +163,7 @@ class TBSM:
         size); see :meth:`repro.models.dlrm.DLRM.loss_and_gradients`.
         """
         logits = self.forward(batch)
-        loss = bce_with_logits(logits, batch.labels, reduction="sum")
-        grad_logits = bce_with_logits_backward(logits, batch.labels, reduction="sum")
+        loss, grad_logits = fused_bce_epilogue(logits, batch.labels)
         if normalizer is not None:
             if normalizer <= 0:
                 raise ValueError("normalizer must be positive")
@@ -236,22 +238,26 @@ class TBSM:
             #: end-to-end).
             history_grad_all = None
             grad_pooled = {t: [] for t in range(1, num_tables)}
+            interaction_s = 0.0
             for s, idx in enumerate(segments):
                 dense_out = self.bottom_mlp.forward(batch.dense[idx])
+                mark = perf_counter()
                 context = self.attention.forward(dense_out, sequence_all[idx])
+                interaction_s += perf_counter() - mark
                 other_outputs = [pooled[t][idx] for t in range(1, num_tables)]
                 features = np.concatenate([context, dense_out] + other_outputs, axis=1)
                 logits = self.top_mlp.forward(features).reshape(-1)
                 labels = batch.labels[idx]
-                loss = float(bce_with_logits(logits, labels, reduction="sum"))
-                grad_logits = bce_with_logits_backward(logits, labels, reduction="sum")
+                loss, grad_logits = fused_bce_epilogue(logits, labels)
                 if normalizer is not None:
                     grad_logits = grad_logits / normalizer
                 grad_features = self.top_mlp.backward(grad_logits.reshape(-1, 1))
                 grad_context = grad_features[:, :dim]
                 grad_dense_direct = grad_features[:, dim : 2 * dim]
                 grad_other = grad_features[:, 2 * dim :]
+                mark = perf_counter()
                 grad_query, grad_sequence = self.attention.backward(grad_context)
+                interaction_s += perf_counter() - mark
                 self.bottom_mlp.backward(grad_query + grad_dense_direct)
                 if history_grad_all is None:
                     history_grad_all = np.empty(
@@ -265,6 +271,7 @@ class TBSM:
                 losses.append(loss)
                 if after_segment is not None:
                     after_segment(s, loss)
+            self.last_interaction_time_s = interaction_s
         self.last_dense_time_s = perf_counter() - dense_start
         if self.stacked is not None:
             # Cross-table fusion: ONE segmented scatter for the history
@@ -329,28 +336,35 @@ class TBSM:
         perm = segments[0] if len(segments) == 1 else np.concatenate(segments)
         bounds = segment_bounds(segments)
         dense_out = self._packed_bottom.forward(batch.dense[perm], bounds)
+        mark = perf_counter()
         context = self.attention.forward(dense_out, sequence_all[perm])
+        interaction_s = perf_counter() - mark
         other_outputs = [pooled[t][perm] for t in range(1, num_tables)]
         features = np.concatenate([context, dense_out] + other_outputs, axis=1)
-        logits = self._packed_top.forward(features, bounds).reshape(-1)
+        if self._packed_top.has_logit_epilogue:
+            # Deferred-bias epilogue — see the DLRM packed pass.
+            logits = self._packed_top.forward_prelogits(features, bounds)
+            logits = logits + self._packed_top.logit_bias
+        else:
+            logits = self._packed_top.forward(features, bounds).reshape(-1)
         labels = batch.labels[perm]
         losses: list[float] = []
         grad_logits = np.empty_like(logits)
         for lo, hi in bounds:
-            losses.append(
-                float(bce_with_logits(logits[lo:hi], labels[lo:hi], reduction="sum"))
-            )
-            seg_grad = bce_with_logits_backward(
-                logits[lo:hi], labels[lo:hi], reduction="sum"
-            )
-            if normalizer is not None:
-                seg_grad = seg_grad / normalizer
+            loss, seg_grad = fused_bce_epilogue(logits[lo:hi], labels[lo:hi])
+            losses.append(loss)
             grad_logits[lo:hi] = seg_grad
+        if normalizer is not None:
+            # Whole-block elementwise division == per-segment slices, bitwise.
+            grad_logits /= normalizer
         grad_features = self._packed_top.backward(grad_logits.reshape(-1, 1), bounds)
         grad_context = grad_features[:, :dim]
         grad_dense_direct = grad_features[:, dim : 2 * dim]
         grad_other = grad_features[:, 2 * dim :]
+        mark = perf_counter()
         grad_query, grad_sequence = self.attention.backward(grad_context)
+        interaction_s += perf_counter() - mark
+        self.last_interaction_time_s = interaction_s
         # The bottom MLP's input gradient is discarded — skip its GEMM.
         self._packed_bottom.backward(
             grad_query + grad_dense_direct, bounds, need_input_grad=False

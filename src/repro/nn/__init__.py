@@ -10,9 +10,21 @@ without a GPU framework.
 from repro.nn import init
 from repro.nn.attention import DotProductAttention
 from repro.nn.embedding import EmbeddingBag, SparseGradient
-from repro.nn.interaction import dot_interaction, dot_interaction_backward
+from repro.nn.interaction import (
+    DotInteractionKernel,
+    dot_interaction,
+    dot_interaction_backward,
+    reference_dot_interaction,
+    reference_dot_interaction_backward,
+)
 from repro.nn.layers import Layer, Linear, ReLU, Sigmoid
-from repro.nn.loss import bce_with_logits, bce_with_logits_backward
+from repro.nn.loss import (
+    bce_with_logits,
+    bce_with_logits_backward,
+    bce_with_logits_per_sample,
+    fused_bce_epilogue,
+    reference_epilogue,
+)
 from repro.nn.metrics import binary_accuracy, log_loss, roc_auc
 from repro.nn.mlp import MLP
 from repro.nn.optim import SGD, Adagrad, SparseAdagrad, SparseSGD
@@ -27,9 +39,15 @@ __all__ = [
     "SparseGradient",
     "dot_interaction",
     "dot_interaction_backward",
+    "DotInteractionKernel",
+    "reference_dot_interaction",
+    "reference_dot_interaction_backward",
     "DotProductAttention",
     "bce_with_logits",
     "bce_with_logits_backward",
+    "bce_with_logits_per_sample",
+    "fused_bce_epilogue",
+    "reference_epilogue",
     "SGD",
     "Adagrad",
     "SparseSGD",

@@ -180,7 +180,14 @@ class _PackedUnit:
             self._bufs[key] = buf
         return buf
 
-    def forward(self, x: np.ndarray, bounds: list[tuple[int, int]], min_rows: int) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        bounds: list[tuple[int, int]],
+        min_rows: int,
+        *,
+        add_bias: bool = True,
+    ) -> np.ndarray:
         lin = self.linear
         if self._fwd_from is None:
             self._fwd_from = packed_rows_threshold(
@@ -194,7 +201,8 @@ class _PackedUnit:
             # block — bit-identical to the sequential loop by construction.
             for lo, hi in bounds:
                 np.matmul(x[lo:hi], lin.weight, out=y[lo:hi])
-        y += lin.bias
+        if add_bias:
+            y += lin.bias
         if self.relu is not None:
             mask = self._bufs.get(("mask", x.shape[0]))
             if mask is None or mask.shape[1] != lin.out_features:
@@ -290,6 +298,42 @@ class PackedMLP:
         for unit in self.units:
             out = unit.forward(out, bounds, min_rows)
         return out
+
+    @property
+    def has_logit_epilogue(self) -> bool:
+        """True when the final unit is a plain single-logit ``Linear``.
+
+        Only such stacks can defer the output bias into the fused loss
+        epilogue (:meth:`forward_prelogits`) — a trailing ReLU or a
+        multi-column output keeps the standard :meth:`forward`.
+        """
+        if not self.supported or not self.units:
+            return False
+        last = self.units[-1]
+        return last.relu is None and last.linear.out_features == 1
+
+    @property
+    def logit_bias(self) -> float:
+        """The deferred output bias for :meth:`forward_prelogits` callers."""
+        return float(self.units[-1].linear.bias[0])
+
+    def forward_prelogits(self, x: np.ndarray, bounds: list[tuple[int, int]]) -> np.ndarray:
+        """Packed forward with the final layer's bias add **deferred**.
+
+        Returns the pre-bias logit column ``(x' @ W_last)[:, 0]``; the
+        caller folds ``+ logit_bias`` into its fused loss epilogue so the
+        logits never make a separate full-width pass.  Adding the scalar
+        bias later is elementwise and therefore bit-identical to the
+        broadcast ``y += bias`` the standard forward performs.  The
+        backward/accumulate schedule is unchanged — the final unit's
+        ``grad_bias`` still accumulates from the logit gradient.
+        """
+        min_rows = min(hi - lo for lo, hi in bounds)
+        out = x
+        for unit in self.units[:-1]:
+            out = unit.forward(out, bounds, min_rows)
+        out = self.units[-1].forward(out, bounds, min_rows, add_bias=False)
+        return out[:, 0]
 
     def backward(
         self,

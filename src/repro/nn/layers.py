@@ -103,12 +103,19 @@ class Sigmoid:
         self._output: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Numerically-stable sigmoid."""
+        """Numerically-stable sigmoid.
+
+        One shared ``e = exp(-|x|)`` pass feeds both branches: for
+        ``x >= 0``, ``exp(-x) == exp(-|x|)`` exactly, and for ``x < 0``,
+        ``exp(x) == exp(-|x|)`` exactly — bit-identical to the former
+        two-gather implementation with a single full-width exp.
+        """
+        e = np.exp(-np.abs(x))
         out = np.empty_like(x)
         positive = x >= 0
-        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-        exp_x = np.exp(x[~positive])
-        out[~positive] = exp_x / (1.0 + exp_x)
+        out[positive] = 1.0 / (1.0 + e[positive])
+        negative = ~positive
+        out[negative] = e[negative] / (1.0 + e[negative])
         self._output = out
         return out
 

@@ -257,7 +257,8 @@ def test_packed_mlp_rejects_sigmoid_output(rng):
 
 
 def test_dense_time_split_is_populated(tiny_model_config, tiny_click_log):
-    """StepOutcome/TrainingResult surface the measured dense-time share."""
+    """StepOutcome/TrainingResult surface the measured dense-time share,
+    with the interaction's share split out of it."""
     from repro.core.pipeline import HotlineTrainer
 
     trainer = HotlineTrainer(
@@ -267,8 +268,24 @@ def test_dense_time_split_is_populated(tiny_model_config, tiny_click_log):
     trainer.bind(loader)
     outcome = trainer.run_step(tiny_click_log.batch(0, 128))
     assert outcome.dense_time_s > 0.0
+    assert 0.0 < outcome.interaction_time_s <= outcome.dense_time_s
     result = trainer.train(loader, epochs=1)
     assert result.dense_time_s > 0.0
+    assert 0.0 < result.interaction_time_s <= result.dense_time_s
+
+
+def test_tbsm_interaction_time_measures_attention(
+    tiny_ts_model_config, tiny_ts_click_log
+):
+    from repro.core.pipeline import HotlineTrainer
+
+    trainer = HotlineTrainer(
+        TBSM(tiny_ts_model_config, seed=9), lr=0.05, sample_fraction=0.25
+    )
+    loader = MiniBatchLoader(tiny_ts_click_log, batch_size=128)
+    trainer.bind(loader)
+    outcome = trainer.run_step(tiny_ts_click_log.batch(0, 128))
+    assert 0.0 < outcome.interaction_time_s <= outcome.dense_time_s
 
 
 def test_sharded_dense_time_split_is_populated(tiny_model_config, tiny_click_log):
@@ -279,6 +296,51 @@ def test_sharded_dense_time_split_is_populated(tiny_model_config, tiny_click_log
     trainer.bind(loader)
     outcome = trainer.run_step(tiny_click_log.batch(0, 128))
     assert outcome.dense_time_s > 0.0
+    assert 0.0 < outcome.interaction_time_s <= outcome.dense_time_s
+
+
+# --------------------------------------------------------------------- #
+# New-kernel vs retained-reference parity (PR 10)
+# --------------------------------------------------------------------- #
+def test_epilogue_reference_training_is_bit_identical(
+    tiny_model_config, tiny_click_log
+):
+    """The fused loss epilogue claims *bit*-identity with the retained
+    two-pass pair — so a whole training run forced through the reference
+    epilogue must reproduce the fused run's losses and parameters exactly."""
+    from repro.nn import loss as loss_mod
+
+    batches = [tiny_click_log.batch(i * 128, 128) for i in range(4)]
+    model_fused = DLRM(tiny_model_config, seed=21)
+    losses_fused = [model_fused.train_step(b, lr=0.1) for b in batches]
+    model_ref = DLRM(tiny_model_config, seed=21)
+    with loss_mod.force_reference():
+        losses_ref = [model_ref.train_step(b, lr=0.1) for b in batches]
+    assert losses_fused == losses_ref
+    state_fused = model_fused.state_snapshot()
+    for key, value in model_ref.state_snapshot().items():
+        np.testing.assert_array_equal(state_fused[key], value, err_msg=key)
+
+
+def test_interaction_reference_training_stays_close(
+    tiny_model_config, tiny_click_log
+):
+    """The batched interaction GEMM is allclose (not bitwise) to the einsum
+    reference — certification guarantees *row stability across execution
+    paths*, not equality with einsum.  A short training run through each
+    must stay within tight fp tolerance."""
+    from repro.nn import interaction as interaction_mod
+
+    batches = [tiny_click_log.batch(i * 128, 128) for i in range(4)]
+    model_new = DLRM(tiny_model_config, seed=23)
+    losses_new = [model_new.train_step(b, lr=0.1) for b in batches]
+    model_ref = DLRM(tiny_model_config, seed=23)
+    with interaction_mod.force_reference():
+        losses_ref = [model_ref.train_step(b, lr=0.1) for b in batches]
+    np.testing.assert_allclose(losses_new, losses_ref, rtol=1e-9)
+    state_new = model_new.state_snapshot()
+    for key, value in model_ref.state_snapshot().items():
+        np.testing.assert_allclose(state_new[key], value, rtol=1e-7, atol=1e-10)
 
 
 # --------------------------------------------------------------------- #

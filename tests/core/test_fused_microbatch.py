@@ -223,10 +223,10 @@ def test_hotline_fused_handles_single_segment_steps(tiny_model_config, tiny_clic
     assert np.isfinite(loss)
 
 
-def sharded_run(config, log, *, fused, **knobs):
+def sharded_run(config, log, *, fused, num_shards=2, **knobs):
     model = DLRM(config, seed=17)
     trainer = ShardedHotlineTrainer(
-        model, 2, lr=0.05, sample_fraction=0.25, fused=fused, **knobs
+        model, num_shards, lr=0.05, sample_fraction=0.25, fused=fused, **knobs
     )
     result = trainer.train(
         MiniBatchLoader(log, batch_size=128), epochs=1, eval_batch=log.batch(0, 256)
@@ -246,6 +246,10 @@ def sharded_run(config, log, *, fused, **knobs):
         # And a genuinely deferring pipeline: fused and sequential must
         # agree on every flush too (same merged gradients in, same out).
         {"lookahead_window": 3, "mode": "stale-2"},
+        # Shard-count extremes (K=1 degenerate, K=4 wide) through the new
+        # single-pass interaction + fused-epilogue kernels.
+        {"num_shards": 1},
+        {"num_shards": 4},
     ],
 )
 def test_sharded_trainer_fused_bit_parity(tiny_model_config, tiny_click_log, knobs):
